@@ -1,0 +1,143 @@
+//! Micro-benchmarks of histogram construction — the dominant GBDT cost
+//! (§3.2.4) — across the storage patterns the paper contrasts, plus the
+//! element-wise kernels (merge, subtraction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbdt_core::histogram::NodeHistogram;
+use gbdt_core::indexes::{InstanceToNodeIndex, NodeToInstanceIndex};
+use gbdt_core::GradBuffer;
+use gbdt_data::binned::BinnedRowsBuilder;
+use gbdt_data::BinnedRows;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const N: usize = 20_000;
+const D: usize = 200;
+const Q: usize = 20;
+const NNZ: usize = 40;
+
+fn make_binned(seed: u64) -> BinnedRows {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = BinnedRowsBuilder::with_capacity(D, N, N * NNZ);
+    let mut row: Vec<(u32, u16)> = Vec::with_capacity(NNZ);
+    for _ in 0..N {
+        row.clear();
+        let mut f = rng.gen_range(0..(D / NNZ) as u32);
+        for _ in 0..NNZ {
+            if f as usize >= D {
+                break;
+            }
+            row.push((f, rng.gen_range(0..Q as u16)));
+            f += rng.gen_range(1..=(D / NNZ) as u32);
+        }
+        b.push_row(&row).unwrap();
+    }
+    b.build()
+}
+
+fn make_grads(n: usize) -> GradBuffer {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut g = GradBuffer::new(n, 1);
+    for i in 0..n {
+        g.set(i, 0, rng.gen_range(-1.0..1.0), rng.gen_range(0.0..1.0));
+    }
+    g
+}
+
+fn bench_build(c: &mut Criterion) {
+    let binned = make_binned(1);
+    let columns = binned.to_columns();
+    let grads = make_grads(N);
+    let index = NodeToInstanceIndex::new(N);
+    let inst_to_node = InstanceToNodeIndex::new(N);
+
+    let mut group = c.benchmark_group("histogram_build");
+    group.bench_function(BenchmarkId::new("row_store_node_index", N), |b| {
+        b.iter(|| {
+            let mut hist = NodeHistogram::new(D, Q, 1);
+            for &i in index.instances(0) {
+                let (g, h) = grads.instance(i as usize);
+                let (feats, bins) = binned.row(i as usize);
+                for (&f, &bin) in feats.iter().zip(bins) {
+                    hist.add_instance(f, bin, g, h);
+                }
+            }
+            black_box(hist)
+        })
+    });
+    group.bench_function(BenchmarkId::new("column_store_inst_index", N), |b| {
+        b.iter(|| {
+            let mut hist = NodeHistogram::new(D, Q, 1);
+            for (j, insts, bins) in columns.iter_cols() {
+                for (&i, &bin) in insts.iter().zip(bins) {
+                    if inst_to_node.node_of(i) == 0 {
+                        let (g, h) = grads.instance(i as usize);
+                        hist.add_instance(j as u32, bin, g, h);
+                    }
+                }
+            }
+            black_box(hist)
+        })
+    });
+    group.bench_function(BenchmarkId::new("column_store_binary_search", N), |b| {
+        // The paper's QD3 log(N) path: per node instance, binary search
+        // every column.
+        let instances: Vec<u32> = (0..(N as u32) / 4).collect(); // a quarter-sized node
+        b.iter(|| {
+            let mut hist = NodeHistogram::new(D, Q, 1);
+            for j in 0..D {
+                let (insts, bins) = columns.col(j);
+                for &i in &instances {
+                    if let Ok(pos) = insts.binary_search(&i) {
+                        let (g, h) = grads.instance(i as usize);
+                        hist.add_instance(j as u32, bins[pos], g, h);
+                    }
+                }
+            }
+            black_box(hist)
+        })
+    });
+    group.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut a = NodeHistogram::new(D, Q, 1);
+    let mut bh = NodeHistogram::new(D, Q, 1);
+    let mut rng = StdRng::seed_from_u64(3);
+    for f in 0..D as u32 {
+        for bin in 0..Q as u16 {
+            a.add(f, bin, 0, rng.gen(), rng.gen());
+            bh.add(f, bin, 0, rng.gen(), rng.gen());
+        }
+    }
+    let mut group = c.benchmark_group("histogram_elementwise");
+    group.bench_function("merge", |b| {
+        b.iter(|| {
+            let mut x = a.clone();
+            x.merge_from(&bh);
+            black_box(x)
+        })
+    });
+    group.bench_function("subtract", |b| {
+        b.iter(|| {
+            let mut x = a.clone();
+            x.subtract_from(&bh);
+            black_box(x)
+        })
+    });
+    group.bench_function("encode_decode", |b| {
+        b.iter(|| {
+            let bytes = a.encode_bytes();
+            black_box(NodeHistogram::decode_bytes(&bytes).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_build, bench_elementwise
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Micro-benchmarks of the three index structures' node-split cost
+//! (§3.2.1/§3.2.3): node-to-instance and instance-to-node splits are O(node
+//! size) / O(N); the column-wise index pays O(D) column repartitions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbdt_core::indexes::{ColumnWiseIndex, InstanceToNodeIndex, NodeToInstanceIndex};
+use gbdt_data::binned::BinnedRowsBuilder;
+use gbdt_data::BinnedColumns;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const N: usize = 50_000;
+
+fn make_columns(d: usize) -> BinnedColumns {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut b = BinnedRowsBuilder::new(d);
+    let nnz = (d / 5).max(1);
+    let mut row: Vec<(u32, u16)> = Vec::new();
+    for _ in 0..N {
+        row.clear();
+        let mut f = rng.gen_range(0..5u32);
+        for _ in 0..nnz {
+            if f as usize >= d {
+                break;
+            }
+            row.push((f, rng.gen_range(0..20u16)));
+            f += rng.gen_range(1..=5u32);
+        }
+        b.push_row(&row).unwrap();
+    }
+    b.build().to_columns()
+}
+
+fn bench_splits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_split");
+    group.bench_function(BenchmarkId::new("node_to_instance", N), |b| {
+        b.iter(|| {
+            let mut idx = NodeToInstanceIndex::new(N);
+            idx.split(0, |i| i % 2 == 0);
+            black_box(idx.count(1))
+        })
+    });
+    group.bench_function(BenchmarkId::new("instance_to_node", N), |b| {
+        b.iter(|| {
+            let mut idx = InstanceToNodeIndex::new(N);
+            idx.split(0, |i| i % 2 == 0);
+            black_box(idx.node_of(7))
+        })
+    });
+    for d in [20usize, 100, 400] {
+        let columns = make_columns(d);
+        group.bench_function(BenchmarkId::new("column_wise_D", d), |b| {
+            // The split cost grows with D — the paper's complaint.
+            b.iter(|| {
+                let mut idx = ColumnWiseIndex::from_columns(&columns);
+                idx.split(0, |i| i % 2 == 0);
+                black_box(idx.node_column(1, 0).0.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_phase_lookup(c: &mut Criterion) {
+    use gbdt_data::block::{Block, BlockedRows};
+    // 8 source blocks merged down to 4: the real shape after a transform.
+    let rows_per_block = 5_000u32;
+    let mut blocks = Vec::new();
+    for s in 0..8u32 {
+        let mut feats = Vec::new();
+        let mut bins = Vec::new();
+        let mut row_ptr = vec![0u32];
+        let mut rng = StdRng::seed_from_u64(s as u64);
+        for _ in 0..rows_per_block {
+            for f in 0..10u32 {
+                feats.push(f);
+                bins.push(rng.gen_range(0..20u16));
+            }
+            row_ptr.push(feats.len() as u32);
+        }
+        blocks.push(Block::new(s, s * rows_per_block, feats, bins, row_ptr).unwrap());
+    }
+    let mut blocked = BlockedRows::assemble(10, blocks).unwrap();
+    blocked.merge(4);
+    let n = blocked.n_rows() as u32;
+
+    c.bench_function("two_phase_row_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in (0..n).step_by(7) {
+                acc += blocked.row(i).0.len();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_splits, bench_two_phase_lookup
+}
+criterion_main!(benches);

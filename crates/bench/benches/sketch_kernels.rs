@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the mergeable quantile sketch (§2.1.2, §4.2.1
+//! step 1): streaming insertion, merging (the repartition path), and
+//! candidate split generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbdt_core::QuantileSketch;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn filled(n: usize, seed: u64) -> QuantileSketch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = QuantileSketch::default();
+    for _ in 0..n {
+        s.insert(rng.gen_range(-100.0..100.0));
+    }
+    s
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_insert");
+    for n in [10_000usize, 100_000] {
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| black_box(filled(n, 23)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_and_query(c: &mut Criterion) {
+    let parts: Vec<QuantileSketch> = (0..8).map(|w| filled(50_000, w)).collect();
+    let mut group = c.benchmark_group("sketch_ops");
+    group.bench_function("merge_8_workers", |b| {
+        b.iter(|| {
+            let mut global = QuantileSketch::default();
+            for p in &parts {
+                global.merge(p);
+            }
+            black_box(global)
+        })
+    });
+    let mut global = QuantileSketch::default();
+    for p in &parts {
+        global.merge(p);
+    }
+    group.bench_function("candidate_splits_q20", |b| {
+        b.iter(|| black_box(global.candidate_splits(20)))
+    });
+    group.bench_function("wire_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = global.encode_bytes();
+            black_box(QuantileSketch::decode_bytes(&bytes).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_insert, bench_merge_and_query
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the transformation wire formats (Appendix A): naïve
+//! 12-byte pairs vs compressed pairs vs blockified arrays, plus the
+//! placement bitmap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbdt_data::block::Block;
+use gbdt_data::encoding;
+use gbdt_partition::PlacementBitmap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const PAIRS: usize = 100_000;
+const P: usize = 5_000; // group features
+const Q: usize = 20;
+
+fn bench_pair_encodings(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let naive: Vec<(u32, f64)> =
+        (0..PAIRS).map(|_| (rng.gen_range(0..P as u32), rng.gen_range(-1.0..1.0))).collect();
+    let compressed: Vec<(u32, u16)> =
+        (0..PAIRS).map(|_| (rng.gen_range(0..P as u32), rng.gen_range(0..Q as u16))).collect();
+
+    let mut group = c.benchmark_group("wire_encode");
+    group.bench_function("naive_12B", |b| {
+        b.iter(|| black_box(encoding::encode_naive(&naive)))
+    });
+    group.bench_function("compressed", |b| {
+        b.iter(|| black_box(encoding::encode_compressed(&compressed, P, Q)))
+    });
+    // Blockified: the same pairs as flat arrays with a single header.
+    let feats: Vec<u32> = compressed.iter().map(|&(f, _)| f).collect();
+    let bins: Vec<u16> = compressed.iter().map(|&(_, b)| b).collect();
+    let row_ptr: Vec<u32> = (0..=PAIRS as u32).step_by(50).collect();
+    let block = Block::new(
+        0,
+        0,
+        feats,
+        bins,
+        if *row_ptr.last().unwrap() == PAIRS as u32 {
+            row_ptr
+        } else {
+            let mut r = row_ptr;
+            r.push(PAIRS as u32);
+            r
+        },
+    )
+    .unwrap();
+    group.bench_function("blockified", |b| {
+        b.iter(|| black_box(encoding::encode_block(&block, P, Q)))
+    });
+    let wire = encoding::encode_block(&block, P, Q);
+    group.bench_function("blockified_decode", |b| {
+        b.iter(|| black_box(encoding::decode_block(wire.clone(), P, Q).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let n = 1_000_000;
+    let bm = PlacementBitmap::from_predicate(n, |i| i % 3 == 0);
+    let mut group = c.benchmark_group("placement_bitmap");
+    group.bench_function("build_1M", |b| {
+        b.iter(|| black_box(PlacementBitmap::from_predicate(n, |i| i % 3 == 0)))
+    });
+    group.bench_function("encode_1M", |b| b.iter(|| black_box(bm.encode_bytes())));
+    let bytes = bm.encode_bytes();
+    group.bench_function("decode_1M", |b| {
+        b.iter(|| black_box(PlacementBitmap::decode_bytes(&bytes).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pair_encodings, bench_bitmap
+}
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Ablations of Vero's design choices (beyond the paper's own Table 5
+//! wire-format ablation):
+//!
+//! * **histogram subtraction** on/off (§2.1.2: "such subtraction technique
+//!   can speed up the training process considerably");
+//! * **column grouping strategy** — greedy-balanced vs round-robin / hash /
+//!   range on a skew-heavy dataset (§4.2.3's straggler concern);
+//! * **network bandwidth sensitivity** — QD2 vs Vero across 0.1 / 1 / 10
+//!   Gbps links (the §6 observation that 10 Gbps lets horizontal systems
+//!   close the gap on low-dimensional data).
+
+use gbdt_bench::args::Args;
+use gbdt_bench::output::ExperimentWriter;
+use gbdt_bench::systems::System;
+use gbdt_cluster::{Cluster, NetworkCostModel};
+use gbdt_core::TrainConfig;
+use gbdt_data::synthetic::SyntheticConfig;
+use gbdt_partition::transform::TransformConfig;
+use rand::prelude::*;
+use gbdt_partition::GroupingStrategy;
+use gbdt_quadrants::qd4::{self, Qd4Options};
+use serde_json::json;
+
+fn main() {
+    let args = Args::parse(&["scale", "trees", "workers"], &[]);
+    let scale = args.get_or("scale", 1.0f64);
+    let trees = args.get_or("trees", 3usize);
+    let workers = args.get_or("workers", 8usize);
+    let n = ((20_000.0 / scale) as usize).max(2_000);
+
+    let mut w = ExperimentWriter::new("ablations");
+    let cfg = TrainConfig::builder().n_trees(trees).n_layers(8).build().unwrap();
+
+    // --- 1. Histogram subtraction ---
+    w.section("histogram subtraction on/off (QD4)");
+    let ds = SyntheticConfig {
+        n_instances: n,
+        n_features: 1_000,
+        density: 0.1,
+        seed: 5,
+        ..Default::default()
+    }
+    .generate();
+    for use_subtraction in [true, false] {
+        let result = qd4::train_with_options(
+            &Cluster::new(workers),
+            &ds,
+            &cfg,
+            &TransformConfig::default(),
+            Qd4Options { use_subtraction },
+        );
+        w.row(json!({
+            "subtraction": use_subtraction,
+            "comp_s_per_tree": result.mean_tree_comp_seconds(),
+            "comm_s_per_tree": result.mean_tree_comm_seconds(),
+            "hist_mb": result.stats.max_histogram_bytes() as f64 / 1e6,
+        }));
+    }
+
+    // --- 2. Column grouping strategy on skewed features ---
+    // A dataset where a few features are far denser than the rest: greedy
+    // balancing should equalize per-worker pair counts.
+    w.section("column grouping strategy (skewed feature density)");
+    let skewed = {
+        // Concatenate a dense block (features 0..20 on every row) with a
+        // sparse tail. Build via CSR directly for exact control.
+        use gbdt_data::sparse::CsrBuilder;
+        let d = 800usize;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut b = CsrBuilder::new(d);
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let mut entries: Vec<(u32, f32)> = (0..20u32)
+                .map(|f| (f, rng.gen_range(-1.0f32..1.0)))
+                .collect();
+            for f in 20..d as u32 {
+                if rng.gen_bool(0.02) {
+                    entries.push((f, rng.gen_range(-1.0f32..1.0)));
+                }
+            }
+            let label = f32::from(entries[0].1 + entries[1].1 > 0.0);
+            b.push_row(&entries).unwrap();
+            labels.push(label);
+        }
+        gbdt_data::Dataset::new(gbdt_data::FeatureMatrix::Sparse(b.build()), labels, 2, "skewed")
+            .unwrap()
+    };
+    for strategy in [
+        GroupingStrategy::RoundRobin,
+        GroupingStrategy::Hash,
+        GroupingStrategy::Range,
+        GroupingStrategy::GreedyBalanced,
+    ] {
+        let tcfg = TransformConfig { strategy, ..Default::default() };
+        let result = qd4::train_with_transform(&Cluster::new(workers), &skewed, &cfg, &tcfg);
+        // Straggler effect: max vs mean per-worker histogram-build time.
+        let max_build = result
+            .stats
+            .workers
+            .iter()
+            .map(|s| s.comp(gbdt_cluster::Phase::HistogramBuild))
+            .fold(0.0, f64::max);
+        let mean_build = result
+            .stats
+            .workers
+            .iter()
+            .map(|s| s.comp(gbdt_cluster::Phase::HistogramBuild))
+            .sum::<f64>()
+            / result.stats.workers.len() as f64;
+        w.row(json!({
+            "strategy": format!("{strategy:?}"),
+            "s_per_tree": result.mean_tree_seconds(),
+            "hist_build_max_s": max_build,
+            "hist_build_mean_s": mean_build,
+            "straggler_ratio": max_build / mean_build.max(1e-12),
+        }));
+    }
+
+    // --- 3. Bandwidth sensitivity ---
+    w.section("link bandwidth sensitivity: QD2 vs Vero (s/tree, D=2500)");
+    let hs = SyntheticConfig {
+        n_instances: n,
+        n_features: 2_500,
+        density: 0.04,
+        seed: 13,
+        ..Default::default()
+    }
+    .generate();
+    for gbps in [0.1f64, 1.0, 10.0] {
+        let cluster = Cluster::with_cost(workers, NetworkCostModel::gbps(gbps));
+        let qd2 = System::Qd2AllReduce.run(&cluster, &hs, &cfg);
+        let vero = System::Vero.run(&cluster, &hs, &cfg);
+        w.row(json!({
+            "gbps": gbps,
+            "qd2_s_per_tree": qd2.mean_tree_seconds(),
+            "qd2_comm_s": qd2.mean_tree_comm_seconds(),
+            "vero_s_per_tree": vero.mean_tree_seconds(),
+            "vero_comm_s": vero.mean_tree_comm_seconds(),
+            "speedup": qd2.mean_tree_seconds() / vero.mean_tree_seconds(),
+        }));
+    }
+    println!("\nDone. Rows written to results/ablations.jsonl");
+}

@@ -1,0 +1,24 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§5, §6, Appendices A–D).
+//!
+//! One binary per artifact (`fig10`, `fig11`, `table3`, `fig12`, `table5`,
+//! `table6`, `table7`, `table8`) plus Criterion micro-benchmarks of the hot
+//! kernels. Shared machinery lives here:
+//!
+//! * [`args`] — a tiny flag parser (`--scale`, `--workers`, `--trees`, …).
+//! * [`datasets`] — scaled synthetic stand-ins for every paper dataset.
+//! * [`systems`] — the system registry mapping paper names to quadrant
+//!   trainers (XGBoost→QD1, LightGBM→QD2/reduce-scatter,
+//!   DimBoost→QD2/parameter-server, Vero→QD4, …).
+//! * [`output`] — aligned human tables + machine-readable JSONL rows under
+//!   `results/`.
+//!
+//! Absolute numbers will differ from the paper (their 8×4-core cluster vs
+//! one process; real vs modelled links); the *shape* of each comparison is
+//! the reproduction target, recorded in `EXPERIMENTS.md`.
+
+pub mod args;
+pub mod datasets;
+pub mod endtoend;
+pub mod output;
+pub mod systems;

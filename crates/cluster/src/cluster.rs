@@ -1,0 +1,150 @@
+//! Scoped-thread cluster harness: runs one closure per worker and collects
+//! results plus instrumentation.
+
+use crate::comm::Comm;
+use crate::cost::NetworkCostModel;
+use crate::stats::{ClusterStats, WorkerStats};
+
+/// Everything a worker closure gets: its communication endpoint and its
+/// stats sink.
+pub struct WorkerCtx {
+    /// This worker's mesh endpoint.
+    pub comm: Comm,
+    /// This worker's instrumentation (folded with comm counters at exit).
+    pub stats: WorkerStats,
+}
+
+impl WorkerCtx {
+    /// This worker's rank.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Number of workers.
+    pub fn world(&self) -> usize {
+        self.comm.world()
+    }
+
+    /// Times `f` as computation in `phase` (convenience passthrough).
+    pub fn time<T>(&mut self, phase: crate::stats::Phase, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.stats.add_comp(phase, start.elapsed().as_secs_f64());
+        out
+    }
+}
+
+/// A W-worker simulated cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct Cluster {
+    /// Number of workers W.
+    pub world: usize,
+    /// Link model used for communication-time accounting.
+    pub cost: NetworkCostModel,
+}
+
+impl Cluster {
+    /// Cluster with the paper's §5.1 lab link model (1 Gbps).
+    pub fn new(world: usize) -> Self {
+        Cluster { world, cost: NetworkCostModel::lab_cluster() }
+    }
+
+    /// Cluster with an explicit link model.
+    pub fn with_cost(world: usize, cost: NetworkCostModel) -> Self {
+        Cluster { world, cost }
+    }
+
+    /// Runs `f` once per worker on its own OS thread; returns each worker's
+    /// output and its stats, indexed by rank.
+    ///
+    /// A panic on any worker aborts the run and propagates.
+    pub fn run<T, F>(&self, f: F) -> (Vec<T>, ClusterStats)
+    where
+        T: Send,
+        F: Fn(&mut WorkerCtx) -> T + Sync,
+    {
+        let mesh = Comm::mesh(self.world, self.cost);
+        let mut slots: Vec<Option<(T, WorkerStats)>> = (0..self.world).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (comm, slot) in mesh.into_iter().zip(slots.iter_mut()) {
+                let f = &f;
+                scope.spawn(move || {
+                    let mut ctx = WorkerCtx { comm, stats: WorkerStats::default() };
+                    let out = f(&mut ctx);
+                    ctx.comm.fold_into(&mut ctx.stats);
+                    *slot = Some((out, ctx.stats));
+                });
+            }
+        });
+        let (outputs, stats): (Vec<T>, Vec<WorkerStats>) =
+            slots.into_iter().map(Option::unwrap).unzip();
+        (outputs, ClusterStats::new(stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Phase;
+    use bytes::Bytes;
+
+    #[test]
+    fn run_returns_rank_ordered_outputs() {
+        let cluster = Cluster::new(4);
+        let (outputs, _) = cluster.run(|ctx| ctx.rank() * 2);
+        assert_eq!(outputs, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn workers_really_communicate() {
+        let cluster = Cluster::new(3);
+        let (outputs, stats) = cluster.run(|ctx| {
+            // Ring: send rank to next, receive from prev.
+            let next = (ctx.rank() + 1) % ctx.world();
+            let prev = (ctx.rank() + ctx.world() - 1) % ctx.world();
+            ctx.comm.send(next, 5, Bytes::from(vec![ctx.rank() as u8]));
+            ctx.comm.recv(prev, 5)[0] as usize
+        });
+        assert_eq!(outputs, vec![2, 0, 1]);
+        assert_eq!(stats.total_bytes_sent(), 3);
+        assert!(stats.comm_seconds() > 0.0);
+    }
+
+    #[test]
+    fn stats_capture_phase_times() {
+        let cluster = Cluster::new(2);
+        let (_, stats) = cluster.run(|ctx| {
+            ctx.time(Phase::HistogramBuild, || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            });
+        });
+        assert!(stats.phase_seconds(Phase::HistogramBuild) >= 0.004);
+        assert_eq!(stats.workers.len(), 2);
+    }
+
+    #[test]
+    fn collectives_work_under_harness() {
+        let cluster = Cluster::new(4);
+        let (outputs, _) = cluster.run(|ctx| {
+            let mut buf = vec![ctx.rank() as f64; 8];
+            ctx.comm.all_reduce_f64(&mut buf);
+            buf[0]
+        });
+        for o in outputs {
+            assert_eq!(o, 6.0); // 0+1+2+3
+        }
+    }
+
+    #[test]
+    fn single_worker_cluster_works() {
+        let cluster = Cluster::new(1);
+        let (outputs, stats) = cluster.run(|ctx| {
+            let mut buf = vec![3.0f64];
+            ctx.comm.all_reduce_f64(&mut buf);
+            ctx.comm.barrier();
+            buf[0]
+        });
+        assert_eq!(outputs, vec![3.0]);
+        assert_eq!(stats.total_bytes_sent(), 0);
+    }
+}

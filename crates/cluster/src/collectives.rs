@@ -1,0 +1,357 @@
+//! Collective operations over the mesh: broadcast, gather, all-gather, ring
+//! all-reduce and ring reduce-scatter — the "different aggregation methods"
+//! of §3.1.3 (map-reduce, all-reduce, reduce-scatter).
+//!
+//! Every rank must call the same collectives in the same program order; tags
+//! are auto-allocated from a per-endpoint counter that stays aligned across
+//! ranks. All reductions run in deterministic order, so repeated runs produce
+//! bit-identical results.
+
+use crate::comm::Comm;
+use bytes::Bytes;
+
+fn f64s_to_bytes(buf: &[f64]) -> Bytes {
+    let mut out = Vec::with_capacity(buf.len() * 8);
+    for v in buf {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+fn bytes_to_f64s(bytes: &Bytes) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|ch| f64::from_le_bytes(ch.try_into().unwrap()))
+        .collect()
+}
+
+/// Segment `[start, end)` of a length-`len` buffer owned by `seg` of `world`.
+pub fn segment_bounds(len: usize, world: usize, seg: usize) -> (usize, usize) {
+    let base = len / world;
+    let extra = len % world;
+    let start = seg * base + seg.min(extra);
+    let size = base + usize::from(seg < extra);
+    (start, start + size)
+}
+
+impl Comm {
+    /// Synchronizes all ranks.
+    pub fn barrier(&self) {
+        self.all_gather(Bytes::new());
+    }
+
+    /// Broadcasts `payload` (significant at `root`) to every rank; returns
+    /// the received payload everywhere.
+    pub fn broadcast(&self, root: usize, payload: Bytes) -> Bytes {
+        let tag = self.alloc_collective_tag();
+        if self.rank() == root {
+            for to in 0..self.world() {
+                if to != root {
+                    self.send(to, tag, payload.clone());
+                }
+            }
+            payload
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// Gathers every rank's payload at `root` (rank order). Non-roots get
+    /// `None`.
+    pub fn gather(&self, root: usize, payload: Bytes) -> Option<Vec<Bytes>> {
+        let tag = self.alloc_collective_tag();
+        if self.rank() == root {
+            let mut out = Vec::with_capacity(self.world());
+            for from in 0..self.world() {
+                if from == root {
+                    out.push(payload.clone());
+                } else {
+                    out.push(self.recv(from, tag));
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, tag, payload);
+            None
+        }
+    }
+
+    /// All ranks exchange payloads; returns all of them in rank order.
+    pub fn all_gather(&self, payload: Bytes) -> Vec<Bytes> {
+        let tag = self.alloc_collective_tag();
+        for to in 0..self.world() {
+            if to != self.rank() {
+                self.send(to, tag, payload.clone());
+            }
+        }
+        let mut out = Vec::with_capacity(self.world());
+        for from in 0..self.world() {
+            if from == self.rank() {
+                out.push(payload.clone());
+            } else {
+                out.push(self.recv(from, tag));
+            }
+        }
+        out
+    }
+
+    /// Reduces (element-wise sum) `buf` to `root` in rank order — the
+    /// gather-style aggregation whose single-point bottleneck DimBoost's
+    /// parameter server avoids (§4.1). Non-roots keep their input.
+    pub fn reduce_to_root_f64(&self, root: usize, buf: &mut [f64]) {
+        let tag = self.alloc_collective_tag();
+        if self.rank() == root {
+            for from in 0..self.world() {
+                if from == root {
+                    continue;
+                }
+                let other = bytes_to_f64s(&self.recv(from, tag));
+                assert_eq!(other.len(), buf.len(), "reduce buffer length mismatch");
+                for (a, b) in buf.iter_mut().zip(&other) {
+                    *a += b;
+                }
+            }
+        } else {
+            self.send(root, tag, f64s_to_bytes(buf));
+        }
+    }
+
+    /// Broadcasts an f64 buffer from `root`, overwriting `buf` elsewhere.
+    pub fn broadcast_f64(&self, root: usize, buf: &mut [f64]) {
+        let payload =
+            if self.rank() == root { f64s_to_bytes(buf) } else { Bytes::new() };
+        let received = self.broadcast(root, payload);
+        if self.rank() != root {
+            let vals = bytes_to_f64s(&received);
+            assert_eq!(vals.len(), buf.len(), "broadcast buffer length mismatch");
+            buf.copy_from_slice(&vals);
+        }
+    }
+
+    /// Ring reduce-scatter: on return, rank `r` holds the fully reduced
+    /// segment `r` of `buf` (bounds from [`segment_bounds`]); the rest of
+    /// `buf` is garbage. Each rank moves `(W−1)/W · len` elements each way —
+    /// the bandwidth-optimal aggregation LightGBM uses (§4.1).
+    pub fn reduce_scatter_f64(&self, buf: &mut [f64]) -> (usize, usize) {
+        let w = self.world();
+        let r = self.rank();
+        if w == 1 {
+            return (0, buf.len());
+        }
+        let tag = self.alloc_collective_tags(w as u64 - 1);
+        let next = (r + 1) % w;
+        let prev = (r + w - 1) % w;
+        // Step s: send segment (r − s) mod w to next, receive and accumulate
+        // segment (r − s − 1) mod w from prev. After w−1 steps rank r fully
+        // owns segment (r + 1) mod w; a final rotation hop below leaves it
+        // with segment r.
+        for s in 0..w - 1 {
+            let send_seg = (r + w - s) % w;
+            let recv_seg = (r + w - s - 1) % w;
+            let (slo, shi) = segment_bounds(buf.len(), w, send_seg);
+            self.send(next, tag + s as u64, f64s_to_bytes(&buf[slo..shi]));
+            let incoming = bytes_to_f64s(&self.recv(prev, tag + s as u64));
+            let (rlo, rhi) = segment_bounds(buf.len(), w, recv_seg);
+            assert_eq!(incoming.len(), rhi - rlo, "segment length mismatch");
+            for (a, b) in buf[rlo..rhi].iter_mut().zip(&incoming) {
+                *a += b;
+            }
+        }
+        // After the loop, rank r fully owns segment (r + 1) mod w. Rotate one
+        // more hop so rank r ends with segment r (one extra segment-sized
+        // transfer, keeping the API intuitive).
+        let owned = (r + 1) % w;
+        let (olo, ohi) = segment_bounds(buf.len(), w, owned);
+        let tag2 = self.alloc_collective_tag();
+        // Rank r owns segment r+1, which is exactly what `next` wants; my
+        // segment r sits on `prev`.
+        self.send(next, tag2, f64s_to_bytes(&buf[olo..ohi]));
+        let mine = bytes_to_f64s(&self.recv(prev, tag2));
+        let (mlo, mhi) = segment_bounds(buf.len(), w, r);
+        assert_eq!(mine.len(), mhi - mlo, "final segment length mismatch");
+        buf[mlo..mhi].copy_from_slice(&mine);
+        (mlo, mhi)
+    }
+
+    /// Ring all-gather of segments: rank `r` contributes segment `r` of
+    /// `buf`; on return every rank holds the complete buffer.
+    pub fn all_gather_segments_f64(&self, buf: &mut [f64]) {
+        let w = self.world();
+        let r = self.rank();
+        if w == 1 {
+            return;
+        }
+        let tag = self.alloc_collective_tags(w as u64 - 1);
+        let next = (r + 1) % w;
+        let prev = (r + w - 1) % w;
+        for s in 0..w - 1 {
+            let send_seg = (r + w - s) % w;
+            let recv_seg = (r + w - s - 1) % w;
+            let (slo, shi) = segment_bounds(buf.len(), w, send_seg);
+            self.send(next, tag + s as u64, f64s_to_bytes(&buf[slo..shi]));
+            let incoming = bytes_to_f64s(&self.recv(prev, tag + s as u64));
+            let (rlo, rhi) = segment_bounds(buf.len(), w, recv_seg);
+            assert_eq!(incoming.len(), rhi - rlo, "segment length mismatch");
+            buf[rlo..rhi].copy_from_slice(&incoming);
+        }
+    }
+
+    /// Ring all-reduce: element-wise sum of `buf` across all ranks, complete
+    /// everywhere (reduce-scatter + all-gather; ~2·len traffic per rank).
+    pub fn all_reduce_f64(&self, buf: &mut [f64]) {
+        self.reduce_scatter_f64(buf);
+        self.all_gather_segments_f64(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::NetworkCostModel;
+
+    /// Runs `f(rank)` on a `world`-sized mesh, returning per-rank outputs.
+    fn run<T: Send>(world: usize, f: impl Fn(&Comm) -> T + Sync) -> Vec<T> {
+        let mesh = Comm::mesh(world, NetworkCostModel::infinite());
+        let mut out: Vec<Option<T>> = (0..world).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (comm, slot) in mesh.into_iter().zip(out.iter_mut()) {
+                let f = &f;
+                s.spawn(move || {
+                    *slot = Some(f(&comm));
+                });
+            }
+        });
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    #[test]
+    fn segment_bounds_cover_buffer() {
+        let len = 10;
+        let w = 3;
+        let segs: Vec<_> = (0..w).map(|s| segment_bounds(len, w, s)).collect();
+        assert_eq!(segs, vec![(0, 4), (4, 7), (7, 10)]);
+        // Degenerate: more workers than elements.
+        let segs: Vec<_> = (0..4).map(|s| segment_bounds(2, 4, s)).collect();
+        assert_eq!(segs, vec![(0, 1), (1, 2), (2, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn broadcast_delivers_everywhere() {
+        let got = run(4, |c| {
+            let payload = if c.rank() == 1 { Bytes::from_static(b"root") } else { Bytes::new() };
+            c.broadcast(1, payload)
+        });
+        for g in got {
+            assert_eq!(&g[..], b"root");
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let got = run(3, |c| {
+            let payload = Bytes::from(vec![c.rank() as u8]);
+            c.gather(0, payload)
+        });
+        assert_eq!(
+            got[0].as_ref().unwrap().iter().map(|b| b[0]).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(got[1].is_none());
+        assert!(got[2].is_none());
+    }
+
+    #[test]
+    fn all_gather_everywhere() {
+        let got = run(3, |c| {
+            c.all_gather(Bytes::from(vec![c.rank() as u8 * 10]))
+        });
+        for g in got {
+            assert_eq!(g.iter().map(|b| b[0]).collect::<Vec<_>>(), vec![0, 10, 20]);
+        }
+    }
+
+    #[test]
+    fn reduce_to_root_sums() {
+        let got = run(4, |c| {
+            let mut buf = vec![c.rank() as f64, 1.0];
+            c.reduce_to_root_f64(2, &mut buf);
+            buf
+        });
+        assert_eq!(got[2], vec![0.0 + 1.0 + 2.0 + 3.0, 4.0]);
+        assert_eq!(got[0], vec![0.0, 1.0]); // non-root unchanged
+    }
+
+    #[test]
+    fn broadcast_f64_overwrites() {
+        let got = run(3, |c| {
+            let mut buf = if c.rank() == 0 { vec![1.5, 2.5] } else { vec![0.0, 0.0] };
+            c.broadcast_f64(0, &mut buf);
+            buf
+        });
+        for g in got {
+            assert_eq!(g, vec![1.5, 2.5]);
+        }
+    }
+
+    #[test]
+    fn ring_all_reduce_matches_sum() {
+        for world in [1, 2, 3, 4, 5] {
+            let len = 11;
+            let got = run(world, move |c| {
+                let mut buf: Vec<f64> =
+                    (0..len).map(|i| (c.rank() * 100 + i) as f64).collect();
+                c.all_reduce_f64(&mut buf);
+                buf
+            });
+            let expected: Vec<f64> = (0..len)
+                .map(|i| (0..world).map(|r| (r * 100 + i) as f64).sum())
+                .collect();
+            for (r, g) in got.iter().enumerate() {
+                assert_eq!(g, &expected, "world={world} rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_owns_reduced_segment() {
+        for world in [2, 3, 4] {
+            let len = 10;
+            let got = run(world, move |c| {
+                let mut buf: Vec<f64> = (0..len).map(|i| (c.rank() + i) as f64).collect();
+                let (lo, hi) = c.reduce_scatter_f64(&mut buf);
+                (lo, hi, buf[lo..hi].to_vec())
+            });
+            for (r, (lo, hi, seg)) in got.iter().enumerate() {
+                let (elo, ehi) = segment_bounds(len, world, r);
+                assert_eq!((*lo, *hi), (elo, ehi), "world={world} rank={r}");
+                let expected: Vec<f64> = (elo..ehi)
+                    .map(|i| (0..world).map(|w| (w + i) as f64).sum())
+                    .collect();
+                assert_eq!(seg, &expected, "world={world} rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn collective_byte_accounting_is_exact() {
+        let mesh = Comm::mesh(2, NetworkCostModel::infinite());
+        let counters = std::thread::scope(|s| {
+            let handles: Vec<_> = mesh
+                .into_iter()
+                .map(|c| {
+                    s.spawn(move || {
+                        let payload = Bytes::from(vec![0u8; 100]);
+                        c.all_gather(payload);
+                        c.counters()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+        // Each of 2 workers sends 100 bytes to 1 peer and receives 100.
+        for c in counters {
+            assert_eq!(c.bytes_sent, 100);
+            assert_eq!(c.bytes_received, 100);
+        }
+    }
+}

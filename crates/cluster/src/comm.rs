@@ -1,0 +1,246 @@
+//! Point-to-point communication endpoint with exact byte accounting.
+//!
+//! Every payload is a real byte buffer ([`bytes::Bytes`]); the endpoint
+//! counts what it sends and receives and charges modelled transfer time
+//! (see [`crate::cost`]). Messages carry a `(from, tag)` pair and `recv`
+//! matches on both, buffering out-of-order arrivals, so interleaved
+//! protocol phases cannot steal each other's messages.
+//!
+//! Loopback sends (to self) are delivered directly and charged nothing —
+//! a worker talking to itself never touches the network.
+
+use crate::cost::NetworkCostModel;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::{Cell, RefCell};
+
+/// One in-flight message.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender rank.
+    pub from: u32,
+    /// Protocol tag (collectives auto-allocate from a high namespace).
+    pub tag: u64,
+    /// Serialized payload.
+    pub payload: Bytes,
+}
+
+/// Communication counters folded into [`crate::stats::WorkerStats`] after a run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CommCounters {
+    /// Exact bytes sent over the (simulated) network.
+    pub bytes_sent: u64,
+    /// Exact bytes received.
+    pub bytes_received: u64,
+    /// Messages sent.
+    pub messages_sent: u64,
+    /// Modelled communication seconds.
+    pub comm_seconds: f64,
+}
+
+/// A worker's endpoint into the in-process fabric.
+pub struct Comm {
+    rank: usize,
+    world: usize,
+    senders: Vec<Sender<Envelope>>,
+    receiver: Receiver<Envelope>,
+    pending: RefCell<Vec<Envelope>>,
+    counters: RefCell<CommCounters>,
+    next_collective_tag: Cell<u64>,
+    cost: NetworkCostModel,
+}
+
+impl Comm {
+    /// Builds a fully connected mesh of `world` endpoints.
+    pub fn mesh(world: usize, cost: NetworkCostModel) -> Vec<Comm> {
+        assert!(world >= 1, "need at least one worker");
+        let mut senders = Vec::with_capacity(world);
+        let mut receivers = Vec::with_capacity(world);
+        for _ in 0..world {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| Comm {
+                rank,
+                world,
+                senders: senders.clone(),
+                receiver,
+                pending: RefCell::new(Vec::new()),
+                counters: RefCell::new(CommCounters::default()),
+                next_collective_tag: Cell::new(COLLECTIVE_TAG_BASE),
+                cost,
+            })
+            .collect()
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of workers in the mesh.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// The transfer-time model in force.
+    pub fn cost_model(&self) -> &NetworkCostModel {
+        &self.cost
+    }
+
+    /// Sends `payload` to `to` under `tag`.
+    pub fn send(&self, to: usize, tag: u64, payload: Bytes) {
+        assert!(to < self.world, "rank {to} out of range");
+        let len = payload.len();
+        let envelope = Envelope { from: self.rank as u32, tag, payload };
+        if to == self.rank {
+            // Loopback: free, delivered immediately.
+            self.pending.borrow_mut().push(envelope);
+            return;
+        }
+        self.senders[to].send(envelope).expect("peer endpoint dropped while cluster running");
+        let mut c = self.counters.borrow_mut();
+        c.bytes_sent += len as u64;
+        c.messages_sent += 1;
+        c.comm_seconds += self.cost.message_time(len);
+    }
+
+    /// Receives the message from `from` with `tag`, blocking until it
+    /// arrives. Other messages arriving meanwhile are buffered.
+    pub fn recv(&self, from: usize, tag: u64) -> Bytes {
+        // Check the out-of-order buffer first.
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) =
+                pending.iter().position(|e| e.from as usize == from && e.tag == tag)
+            {
+                let envelope = pending.swap_remove(pos);
+                self.account_recv(from, envelope.payload.len());
+                return envelope.payload;
+            }
+        }
+        loop {
+            let envelope =
+                self.receiver.recv().expect("peer endpoints dropped while cluster running");
+            if envelope.from as usize == from && envelope.tag == tag {
+                self.account_recv(from, envelope.payload.len());
+                return envelope.payload;
+            }
+            self.pending.borrow_mut().push(envelope);
+        }
+    }
+
+    fn account_recv(&self, from: usize, len: usize) {
+        if from == self.rank {
+            return; // loopback is free
+        }
+        let mut c = self.counters.borrow_mut();
+        c.bytes_received += len as u64;
+        c.comm_seconds += len as f64 / self.cost.bandwidth_bytes_per_s;
+    }
+
+    /// Allocates the next collective tag. All workers execute collectives in
+    /// the same program order, so the counters stay aligned across ranks.
+    pub(crate) fn alloc_collective_tag(&self) -> u64 {
+        self.alloc_collective_tags(1)
+    }
+
+    /// Allocates a block of `n` consecutive collective tags (multi-step
+    /// collectives use one tag per step).
+    pub(crate) fn alloc_collective_tags(&self, n: u64) -> u64 {
+        let tag = self.next_collective_tag.get();
+        self.next_collective_tag.set(tag + n);
+        tag
+    }
+
+    /// Snapshot of the accumulated counters.
+    pub fn counters(&self) -> CommCounters {
+        *self.counters.borrow()
+    }
+
+    /// Folds the counters into worker stats (called at end of a run).
+    pub fn fold_into(&self, stats: &mut crate::stats::WorkerStats) {
+        let c = self.counters();
+        stats.bytes_sent += c.bytes_sent;
+        stats.bytes_received += c.bytes_received;
+        stats.messages_sent += c.messages_sent;
+        stats.comm_seconds += c.comm_seconds;
+    }
+}
+
+/// Collective tags live in the top half of the tag space; explicit
+/// point-to-point protocols should use tags below this.
+pub const COLLECTIVE_TAG_BASE: u64 = 1 << 63;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip_with_accounting() {
+        let mesh = Comm::mesh(2, NetworkCostModel { latency_s: 0.001, bandwidth_bytes_per_s: 1000.0 });
+        let (a, b) = (&mesh[0], &mesh[1]);
+        a.send(1, 7, Bytes::from_static(b"hello"));
+        let got = b.recv(0, 7);
+        assert_eq!(&got[..], b"hello");
+        let ca = a.counters();
+        assert_eq!(ca.bytes_sent, 5);
+        assert_eq!(ca.messages_sent, 1);
+        assert!((ca.comm_seconds - 0.006).abs() < 1e-12);
+        let cb = b.counters();
+        assert_eq!(cb.bytes_received, 5);
+        assert!((cb.comm_seconds - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tag_matching_buffers_out_of_order() {
+        let mesh = Comm::mesh(2, NetworkCostModel::infinite());
+        let (a, b) = (&mesh[0], &mesh[1]);
+        a.send(1, 1, Bytes::from_static(b"first"));
+        a.send(1, 2, Bytes::from_static(b"second"));
+        // Receive in reverse tag order.
+        assert_eq!(&b.recv(0, 2)[..], b"second");
+        assert_eq!(&b.recv(0, 1)[..], b"first");
+    }
+
+    #[test]
+    fn loopback_is_free() {
+        let mesh = Comm::mesh(1, NetworkCostModel::lab_cluster());
+        let a = &mesh[0];
+        a.send(0, 3, Bytes::from_static(b"self"));
+        assert_eq!(&a.recv(0, 3)[..], b"self");
+        let c = a.counters();
+        assert_eq!(c.bytes_sent, 0);
+        assert_eq!(c.bytes_received, 0);
+        assert_eq!(c.comm_seconds, 0.0);
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let mut mesh = Comm::mesh(2, NetworkCostModel::infinite());
+        let b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                a.send(1, 9, Bytes::from(vec![1u8, 2, 3]));
+            });
+            s.spawn(move || {
+                assert_eq!(&b.recv(0, 9)[..], &[1, 2, 3]);
+            });
+        });
+    }
+
+    #[test]
+    fn fold_into_accumulates_stats() {
+        let mesh = Comm::mesh(2, NetworkCostModel::infinite());
+        mesh[0].send(1, 1, Bytes::from_static(b"xy"));
+        let mut stats = crate::stats::WorkerStats::default();
+        mesh[0].fold_into(&mut stats);
+        assert_eq!(stats.bytes_sent, 2);
+        assert_eq!(stats.messages_sent, 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Network transfer-time model.
+//!
+//! All workers share one machine, so real channel latency says nothing about
+//! a cluster. Instead every message is charged
+//! `latency + bytes / bandwidth` seconds against the sending worker's and
+//! the receiving worker's communication clocks, approximating a full-duplex
+//! NIC. Byte counts themselves are exact (real serialized payload lengths).
+
+use serde::{Deserialize, Serialize};
+
+/// Latency/bandwidth model for one link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkCostModel {
+    /// Per-message latency in seconds.
+    pub latency_s: f64,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl NetworkCostModel {
+    /// A model with the given link speed in gigabits per second.
+    pub fn gbps(gbit: f64) -> Self {
+        NetworkCostModel { latency_s: 1e-4, bandwidth_bytes_per_s: gbit * 1e9 / 8.0 }
+    }
+
+    /// The paper's §5.1 laboratory cluster: 1 Gbps Ethernet.
+    pub fn lab_cluster() -> Self {
+        Self::gbps(1.0)
+    }
+
+    /// The paper's §6 production cluster: 10 Gbps Ethernet.
+    pub fn production_cluster() -> Self {
+        Self::gbps(10.0)
+    }
+
+    /// An effectively free network (isolates computation in experiments).
+    pub fn infinite() -> Self {
+        NetworkCostModel { latency_s: 0.0, bandwidth_bytes_per_s: f64::INFINITY }
+    }
+
+    /// Modelled seconds to move one `bytes`-sized message over the link.
+    pub fn message_time(&self, bytes: usize) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+}
+
+impl Default for NetworkCostModel {
+    fn default() -> Self {
+        Self::lab_cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_converts_to_bytes_per_second() {
+        let m = NetworkCostModel::gbps(1.0);
+        assert_eq!(m.bandwidth_bytes_per_s, 125_000_000.0);
+        let m = NetworkCostModel::gbps(10.0);
+        assert_eq!(m.bandwidth_bytes_per_s, 1_250_000_000.0);
+    }
+
+    #[test]
+    fn message_time_adds_latency_and_transfer() {
+        let m = NetworkCostModel { latency_s: 0.001, bandwidth_bytes_per_s: 1000.0 };
+        assert!((m.message_time(500) - 0.501).abs() < 1e-12);
+        assert!((m.message_time(0) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_network_is_free_transfer() {
+        let m = NetworkCostModel::infinite();
+        assert_eq!(m.message_time(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn one_gbps_moves_906mb_in_7ish_seconds() {
+        // Sanity anchor for the paper's §3.1.4 example: a 906 MB histogram
+        // takes ~7.6 s on 1 Gbps.
+        let m = NetworkCostModel::lab_cluster();
+        let t = m.message_time(906 * 1024 * 1024);
+        assert!((7.0..8.5).contains(&t), "t = {t}");
+    }
+}

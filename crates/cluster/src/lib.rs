@@ -1,0 +1,34 @@
+//! Simulated distributed substrate for the GBDT reproduction.
+//!
+//! The paper runs on Spark clusters; Rust has no mature distributed ML
+//! framework, so this crate provides the substitute documented in
+//! `DESIGN.md`: a *cluster-in-a-process*. Each worker is a real OS thread
+//! with a private [`comm::Comm`] endpoint; workers exchange **serialized
+//! byte messages** over channels, so every byte count the cost analysis
+//! depends on is exact. Because channel transfers on one machine take
+//! microseconds, network *transfer time* is modelled by a configurable
+//! [`cost::NetworkCostModel`] (default 1 Gbps / 0.1 ms, matching the paper's
+//! §5.1 lab cluster), while *computation time* is measured wall-clock per
+//! worker. The two are reported separately everywhere (Figure 10's
+//! Comp/Comm breakdown).
+//!
+//! * [`cost`] — latency + bandwidth transfer-time model.
+//! * [`comm`] — point-to-point endpoint with tag matching and byte
+//!   accounting.
+//! * [`collectives`] — broadcast, gather, all-gather, ring all-reduce, ring
+//!   reduce-scatter (the aggregation methods of §3.1.3).
+//! * [`ps`] — parameter-server-style sharded aggregation (DimBoost, §4.1).
+//! * [`cluster`] — scoped-thread harness running one closure per worker.
+//! * [`stats`] — per-worker phase timers, byte counters, memory gauges.
+
+pub mod cluster;
+pub mod collectives;
+pub mod comm;
+pub mod cost;
+pub mod ps;
+pub mod stats;
+
+pub use cluster::{Cluster, WorkerCtx};
+pub use comm::Comm;
+pub use cost::NetworkCostModel;
+pub use stats::{Phase, WorkerStats};

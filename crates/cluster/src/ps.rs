@@ -1,0 +1,123 @@
+//! Parameter-server-style sharded aggregation (the DimBoost pattern, §4.1).
+//!
+//! DimBoost "aggregates the histograms on parameter servers and enables
+//! server-side split finding". Here every worker doubles as one server (the
+//! common co-located deployment): the flat histogram buffer is sharded into
+//! per-server ranges, each worker *pushes* its local slice of every range to
+//! the owning server, and each server reduces the slices for its own range.
+//! Split finding then happens server-side on the reduced slice, and only the
+//! tiny local-best splits are exchanged — avoiding both the all-reduce
+//! traffic and the single-point bottleneck of gather-to-root (§4.1).
+
+use crate::comm::Comm;
+use bytes::Bytes;
+
+fn f64s_to_bytes(buf: &[f64]) -> Bytes {
+    let mut out = Vec::with_capacity(buf.len() * 8);
+    for v in buf {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+fn bytes_to_f64s(bytes: &Bytes) -> Vec<f64> {
+    bytes.chunks_exact(8).map(|ch| f64::from_le_bytes(ch.try_into().unwrap())).collect()
+}
+
+impl Comm {
+    /// Pushes `buf`'s shards to their owning servers and reduces the shard
+    /// this rank serves.
+    ///
+    /// `ranges[s]` is the `[start, end)` slice of `buf` owned by server `s`
+    /// (`ranges.len() == world`); ranges must be disjoint but need not cover
+    /// `buf`. Returns the fully reduced values of `ranges[rank]`.
+    pub fn ps_push_and_reduce(&self, buf: &[f64], ranges: &[(usize, usize)]) -> Vec<f64> {
+        assert_eq!(ranges.len(), self.world(), "one range per server");
+        let tag = self.alloc_collective_tag();
+        let r = self.rank();
+        // Push every foreign shard to its server.
+        for (server, &(lo, hi)) in ranges.iter().enumerate() {
+            if server != r {
+                self.send(server, tag, f64s_to_bytes(&buf[lo..hi]));
+            }
+        }
+        // Serve my shard: start from my local slice, add peers in rank order.
+        let (lo, hi) = ranges[r];
+        let mut reduced = buf[lo..hi].to_vec();
+        for from in 0..self.world() {
+            if from == r {
+                continue;
+            }
+            let slice = bytes_to_f64s(&self.recv(from, tag));
+            assert_eq!(slice.len(), reduced.len(), "shard length mismatch");
+            for (a, b) in reduced.iter_mut().zip(&slice) {
+                *a += b;
+            }
+        }
+        reduced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::segment_bounds;
+    use crate::cost::NetworkCostModel;
+
+    #[test]
+    fn ps_reduce_matches_global_sum() {
+        for world in [1, 2, 3, 4] {
+            let len = 9;
+            let mesh = Comm::mesh(world, NetworkCostModel::infinite());
+            let results: Vec<Vec<f64>> = std::thread::scope(|s| {
+                let handles: Vec<_> = mesh
+                    .into_iter()
+                    .map(|c| {
+                        s.spawn(move || {
+                            let buf: Vec<f64> =
+                                (0..len).map(|i| (c.rank() * 10 + i) as f64).collect();
+                            let ranges: Vec<_> =
+                                (0..world).map(|w| segment_bounds(len, world, w)).collect();
+                            c.ps_push_and_reduce(&buf, &ranges)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for (rank, reduced) in results.iter().enumerate() {
+                let (lo, hi) = segment_bounds(len, world, rank);
+                let expected: Vec<f64> = (lo..hi)
+                    .map(|i| (0..world).map(|w| (w * 10 + i) as f64).sum())
+                    .collect();
+                assert_eq!(reduced, &expected, "world={world} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn ps_traffic_is_one_histogram_per_worker() {
+        // Each worker sends (W-1)/W of its buffer and receives (W-1) shards
+        // of its own range: total per-worker traffic ~ len, not W*len.
+        let world = 4;
+        let len = 1000;
+        let mesh = Comm::mesh(world, NetworkCostModel::infinite());
+        let counters = std::thread::scope(|s| {
+            let handles: Vec<_> = mesh
+                .into_iter()
+                .map(|c| {
+                    s.spawn(move || {
+                        let buf = vec![1.0f64; len];
+                        let ranges: Vec<_> =
+                            (0..world).map(|w| segment_bounds(len, world, w)).collect();
+                        c.ps_push_and_reduce(&buf, &ranges);
+                        c.counters()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+        for c in &counters {
+            assert_eq!(c.bytes_sent, (len as u64 * 8 / world as u64) * (world as u64 - 1));
+        }
+    }
+}

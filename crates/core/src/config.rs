@@ -1,0 +1,190 @@
+//! Training hyper-parameters.
+
+use crate::loss::Objective;
+use serde::{Deserialize, Serialize};
+
+/// GBDT training configuration, using the paper's symbols.
+///
+/// Defaults follow §5.1: `T = 100` trees, `L = 8` layers, `q = 20` candidate
+/// splits. Build with [`TrainConfig::builder`] for fluent construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// T — number of boosted trees.
+    pub n_trees: usize,
+    /// L — number of tree layers (a root-only tree has L = 1; an L-layer
+    /// tree has at most `2^(L-1)` leaves).
+    pub n_layers: usize,
+    /// q — number of candidate splits per feature (histogram bins).
+    pub n_bins: usize,
+    /// η — learning rate (step size) applied to every leaf.
+    pub learning_rate: f64,
+    /// λ — L2 regularization on leaf weights (Eq. 1, 2).
+    pub lambda: f64,
+    /// γ — per-leaf complexity penalty (Eq. 2).
+    pub gamma: f64,
+    /// Minimum sum of hessians on each child for a split to be valid.
+    pub min_child_weight: f64,
+    /// Minimum number of instances on a node for it to be split.
+    pub min_node_instances: usize,
+    /// The training objective.
+    pub objective: Objective,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            n_trees: 100,
+            n_layers: 8,
+            n_bins: 20,
+            learning_rate: 0.1,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1e-3,
+            min_node_instances: 2,
+            objective: Objective::Logistic,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Starts a fluent builder from the §5.1 defaults.
+    pub fn builder() -> TrainConfigBuilder {
+        TrainConfigBuilder { cfg: TrainConfig::default() }
+    }
+
+    /// C — the gradient dimension: 1 for regression/binary, the class count
+    /// for multi-class (paper §3: "C equals 1 in binary-classification or
+    /// the number of classes in multi-classification").
+    pub fn n_outputs(&self) -> usize {
+        self.objective.n_outputs()
+    }
+
+    /// Validates parameter ranges, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_trees == 0 {
+            return Err("n_trees must be >= 1".into());
+        }
+        if self.n_layers == 0 || self.n_layers > 24 {
+            return Err("n_layers must be in 1..=24".into());
+        }
+        if self.n_bins < 2 || self.n_bins > u16::MAX as usize {
+            return Err("n_bins must be in 2..=65535".into());
+        }
+        if self.learning_rate <= 0.0 || self.learning_rate.is_nan() {
+            return Err("learning_rate must be positive".into());
+        }
+        if self.lambda < 0.0 || self.gamma < 0.0 {
+            return Err("lambda and gamma must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`TrainConfig`].
+#[derive(Debug, Clone)]
+pub struct TrainConfigBuilder {
+    cfg: TrainConfig,
+}
+
+impl TrainConfigBuilder {
+    /// Sets T, the number of trees.
+    pub fn n_trees(mut self, t: usize) -> Self {
+        self.cfg.n_trees = t;
+        self
+    }
+
+    /// Sets L, the number of tree layers.
+    pub fn n_layers(mut self, l: usize) -> Self {
+        self.cfg.n_layers = l;
+        self
+    }
+
+    /// Sets q, the number of candidate splits (histogram bins).
+    pub fn n_bins(mut self, q: usize) -> Self {
+        self.cfg.n_bins = q;
+        self
+    }
+
+    /// Sets η, the learning rate.
+    pub fn learning_rate(mut self, eta: f64) -> Self {
+        self.cfg.learning_rate = eta;
+        self
+    }
+
+    /// Sets λ, the L2 leaf regularization.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.cfg.lambda = lambda;
+        self
+    }
+
+    /// Sets γ, the per-leaf complexity penalty.
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.cfg.gamma = gamma;
+        self
+    }
+
+    /// Sets the minimum child hessian sum.
+    pub fn min_child_weight(mut self, w: f64) -> Self {
+        self.cfg.min_child_weight = w;
+        self
+    }
+
+    /// Sets the minimum instance count for splitting a node.
+    pub fn min_node_instances(mut self, n: usize) -> Self {
+        self.cfg.min_node_instances = n;
+        self
+    }
+
+    /// Sets the training objective.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.cfg.objective = objective;
+        self
+    }
+
+    /// Finalizes, validating all parameters.
+    pub fn build(self) -> Result<TrainConfig, String> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_paper_section_5_1() {
+        let cfg = TrainConfig::default();
+        assert_eq!(cfg.n_trees, 100);
+        assert_eq!(cfg.n_layers, 8);
+        assert_eq!(cfg.n_bins, 20);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let cfg = TrainConfig::builder()
+            .n_trees(5)
+            .n_layers(4)
+            .n_bins(16)
+            .learning_rate(0.3)
+            .lambda(2.0)
+            .gamma(0.5)
+            .objective(Objective::Softmax { n_classes: 7 })
+            .build()
+            .unwrap();
+        assert_eq!(cfg.n_trees, 5);
+        assert_eq!(cfg.n_outputs(), 7);
+        assert_eq!(cfg.gamma, 0.5);
+    }
+
+    #[test]
+    fn builder_rejects_invalid() {
+        assert!(TrainConfig::builder().n_trees(0).build().is_err());
+        assert!(TrainConfig::builder().n_bins(1).build().is_err());
+        assert!(TrainConfig::builder().learning_rate(0.0).build().is_err());
+        assert!(TrainConfig::builder().lambda(-1.0).build().is_err());
+        assert!(TrainConfig::builder().n_layers(25).build().is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Flat gradient-pair buffers.
+//!
+//! Histogram construction reads one gradient pair per (instance, class) in
+//! its innermost loop, so the storage is a pair of flat `f64` arrays indexed
+//! `instance * C + class` — no per-instance allocation, cache-linear for the
+//! row-scan orders used by the trainers.
+
+use serde::{Deserialize, Serialize};
+
+/// One first-/second-order gradient pair (gᵢ, hᵢ).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GradPair {
+    /// First-order gradient gᵢ.
+    pub grad: f64,
+    /// Second-order gradient (hessian) hᵢ.
+    pub hess: f64,
+}
+
+impl GradPair {
+    /// Creates a pair.
+    pub fn new(grad: f64, hess: f64) -> Self {
+        GradPair { grad, hess }
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, other: GradPair) {
+        self.grad += other.grad;
+        self.hess += other.hess;
+    }
+}
+
+/// Gradient pairs for N instances × C classes, stored flat.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradBuffer {
+    n_instances: usize,
+    n_outputs: usize,
+    grads: Vec<f64>,
+    hesses: Vec<f64>,
+}
+
+impl GradBuffer {
+    /// Allocates a zeroed buffer for `n_instances × n_outputs` pairs.
+    pub fn new(n_instances: usize, n_outputs: usize) -> Self {
+        GradBuffer {
+            n_instances,
+            n_outputs,
+            grads: vec![0.0; n_instances * n_outputs],
+            hesses: vec![0.0; n_instances * n_outputs],
+        }
+    }
+
+    /// Number of instances.
+    #[inline]
+    pub fn n_instances(&self) -> usize {
+        self.n_instances
+    }
+
+    /// Number of classes C.
+    #[inline]
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Sets the pair of `(instance, class)`.
+    #[inline]
+    pub fn set(&mut self, instance: usize, class: usize, grad: f64, hess: f64) {
+        let k = instance * self.n_outputs + class;
+        self.grads[k] = grad;
+        self.hesses[k] = hess;
+    }
+
+    /// Pair of `(instance, class)`.
+    #[inline]
+    pub fn get(&self, instance: usize, class: usize) -> GradPair {
+        let k = instance * self.n_outputs + class;
+        GradPair { grad: self.grads[k], hess: self.hesses[k] }
+    }
+
+    /// All C pairs of one instance, as parallel `(grads, hesses)` slices.
+    #[inline]
+    pub fn instance(&self, instance: usize) -> (&[f64], &[f64]) {
+        let lo = instance * self.n_outputs;
+        let hi = lo + self.n_outputs;
+        (&self.grads[lo..hi], &self.hesses[lo..hi])
+    }
+
+    /// Sum of all pairs of the given instances, per class, appended into
+    /// `grad_out` / `hess_out` (each of length C).
+    pub fn sum_instances(&self, instances: &[u32], grad_out: &mut [f64], hess_out: &mut [f64]) {
+        debug_assert_eq!(grad_out.len(), self.n_outputs);
+        debug_assert_eq!(hess_out.len(), self.n_outputs);
+        grad_out.iter_mut().for_each(|g| *g = 0.0);
+        hess_out.iter_mut().for_each(|h| *h = 0.0);
+        for &i in instances {
+            let (g, h) = self.instance(i as usize);
+            for c in 0..self.n_outputs {
+                grad_out[c] += g[c];
+                hess_out[c] += h[c];
+            }
+        }
+    }
+
+    /// Extracts the rows for a horizontal shard `lo..hi`.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> GradBuffer {
+        GradBuffer {
+            n_instances: hi - lo,
+            n_outputs: self.n_outputs,
+            grads: self.grads[lo * self.n_outputs..hi * self.n_outputs].to_vec(),
+            hesses: self.hesses[lo * self.n_outputs..hi * self.n_outputs].to_vec(),
+        }
+    }
+
+    /// Bytes of heap storage used.
+    pub fn heap_bytes(&self) -> usize {
+        (self.grads.len() + self.hesses.len()) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = GradBuffer::new(3, 2);
+        b.set(1, 0, 0.5, 0.25);
+        b.set(1, 1, -0.5, 0.75);
+        assert_eq!(b.get(1, 0), GradPair::new(0.5, 0.25));
+        assert_eq!(b.get(1, 1), GradPair::new(-0.5, 0.75));
+        assert_eq!(b.get(0, 0), GradPair::default());
+        let (g, h) = b.instance(1);
+        assert_eq!(g, &[0.5, -0.5]);
+        assert_eq!(h, &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn sum_instances_accumulates_per_class() {
+        let mut b = GradBuffer::new(4, 2);
+        for i in 0..4 {
+            b.set(i, 0, 1.0, 2.0);
+            b.set(i, 1, -1.0, 0.5);
+        }
+        let mut g = vec![0.0; 2];
+        let mut h = vec![0.0; 2];
+        b.sum_instances(&[0, 2, 3], &mut g, &mut h);
+        assert_eq!(g, vec![3.0, -3.0]);
+        assert_eq!(h, vec![6.0, 1.5]);
+    }
+
+    #[test]
+    fn slice_rows_extracts_shard() {
+        let mut b = GradBuffer::new(4, 1);
+        for i in 0..4 {
+            b.set(i, 0, i as f64, 1.0);
+        }
+        let s = b.slice_rows(1, 3);
+        assert_eq!(s.n_instances(), 2);
+        assert_eq!(s.get(0, 0).grad, 1.0);
+        assert_eq!(s.get(1, 0).grad, 2.0);
+    }
+
+    #[test]
+    fn grad_pair_add() {
+        let mut p = GradPair::new(1.0, 2.0);
+        p.add(GradPair::new(0.5, 0.5));
+        assert_eq!(p, GradPair::new(1.5, 2.5));
+    }
+}

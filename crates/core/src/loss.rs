@@ -1,0 +1,235 @@
+//! Second-order training objectives.
+//!
+//! GBDT optimizes a second-order Taylor expansion of the loss (§2.1.1), so
+//! each objective must provide first- and second-order gradients `gᵢ, hᵢ`
+//! per instance (and per class for multi-class softmax, where the gradient
+//! is "a vector of partial derivatives on all classes", §3.1.1).
+
+use crate::gradients::GradBuffer;
+use serde::{Deserialize, Serialize};
+
+/// Training objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Squared-error regression: `l(y, ŷ) = (y − ŷ)² / 2`.
+    SquaredError,
+    /// Binary logistic loss on a single raw score.
+    Logistic,
+    /// Multi-class softmax cross-entropy over `n_classes` raw scores.
+    Softmax {
+        /// Number of classes C (≥ 2 meaningful, ≥ 3 typical).
+        n_classes: usize,
+    },
+}
+
+impl Objective {
+    /// C — number of raw scores per instance (1 except for softmax).
+    pub fn n_outputs(&self) -> usize {
+        match self {
+            Objective::SquaredError | Objective::Logistic => 1,
+            Objective::Softmax { n_classes } => *n_classes,
+        }
+    }
+
+    /// Constant initial raw score(s) before any tree is added.
+    pub fn init_scores(&self) -> Vec<f64> {
+        vec![0.0; self.n_outputs()]
+    }
+
+    /// Fills `out` with the gradient pairs of every instance given the
+    /// current raw scores.
+    ///
+    /// `scores` is row-major `[instance][class]` with `n_outputs()` scores
+    /// per instance; `labels` holds the regression target or the class id.
+    pub fn compute_gradients(&self, scores: &[f64], labels: &[f32], out: &mut GradBuffer) {
+        let c = self.n_outputs();
+        let n = labels.len();
+        assert_eq!(scores.len(), n * c, "scores shape mismatch");
+        assert_eq!(out.n_instances(), n, "gradient buffer shape mismatch");
+        assert_eq!(out.n_outputs(), c, "gradient buffer class mismatch");
+        match self {
+            Objective::SquaredError => {
+                for i in 0..n {
+                    let g = scores[i] - f64::from(labels[i]);
+                    out.set(i, 0, g, 1.0);
+                }
+            }
+            Objective::Logistic => {
+                for i in 0..n {
+                    let p = sigmoid(scores[i]);
+                    let g = p - f64::from(labels[i]);
+                    let h = (p * (1.0 - p)).max(1e-16);
+                    out.set(i, 0, g, h);
+                }
+            }
+            Objective::Softmax { n_classes } => {
+                let mut probs = vec![0f64; *n_classes];
+                for i in 0..n {
+                    softmax_into(&scores[i * c..(i + 1) * c], &mut probs);
+                    let label = labels[i] as usize;
+                    for (k, &p) in probs.iter().enumerate() {
+                        let y = if k == label { 1.0 } else { 0.0 };
+                        let h = (2.0 * p * (1.0 - p)).max(1e-16);
+                        out.set(i, k, p - y, h);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Transforms raw scores into predictions (probabilities for
+    /// classification, identity for regression). `scores` is one instance's
+    /// `n_outputs()` raw scores.
+    pub fn transform(&self, scores: &[f64]) -> Vec<f64> {
+        match self {
+            Objective::SquaredError => scores.to_vec(),
+            Objective::Logistic => vec![sigmoid(scores[0])],
+            Objective::Softmax { n_classes } => {
+                let mut probs = vec![0f64; *n_classes];
+                softmax_into(scores, &mut probs);
+                probs
+            }
+        }
+    }
+
+    /// Mean loss of raw scores against labels (for convergence reporting).
+    pub fn mean_loss(&self, scores: &[f64], labels: &[f32]) -> f64 {
+        let c = self.n_outputs();
+        let n = labels.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        match self {
+            Objective::SquaredError => {
+                for i in 0..n {
+                    let d = scores[i] - f64::from(labels[i]);
+                    total += 0.5 * d * d;
+                }
+            }
+            Objective::Logistic => {
+                for i in 0..n {
+                    let p = sigmoid(scores[i]).clamp(1e-15, 1.0 - 1e-15);
+                    let y = f64::from(labels[i]);
+                    total -= y * p.ln() + (1.0 - y) * (1.0 - p).ln();
+                }
+            }
+            Objective::Softmax { n_classes } => {
+                let mut probs = vec![0f64; *n_classes];
+                for i in 0..n {
+                    softmax_into(&scores[i * c..(i + 1) * c], &mut probs);
+                    let p = probs[labels[i] as usize].clamp(1e-15, 1.0);
+                    total -= p.ln();
+                }
+            }
+        }
+        total / n as f64
+    }
+}
+
+/// Numerically stable logistic function.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softmax into a preallocated buffer.
+#[inline]
+pub fn softmax_into(scores: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(scores.len(), out.len());
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for (o, &s) in out.iter_mut().zip(scores) {
+        *o = (s - max).exp();
+        sum += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_stable_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-800.0) >= 0.0); // no underflow panic
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut out = [0.0; 3];
+        softmax_into(&[1.0, 2.0, 3.0], &mut out);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(out[2] > out[1] && out[1] > out[0]);
+        // Large values do not overflow.
+        softmax_into(&[1000.0, 999.0, 0.0], &mut out);
+        assert!(out[0] > out[1] && out.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn squared_error_gradients() {
+        let obj = Objective::SquaredError;
+        let mut buf = GradBuffer::new(2, 1);
+        obj.compute_gradients(&[3.0, -1.0], &[1.0, 2.0], &mut buf);
+        assert_eq!(buf.get(0, 0).grad, 2.0);
+        assert_eq!(buf.get(0, 0).hess, 1.0);
+        assert_eq!(buf.get(1, 0).grad, -3.0);
+    }
+
+    #[test]
+    fn logistic_gradients_point_toward_label() {
+        let obj = Objective::Logistic;
+        let mut buf = GradBuffer::new(2, 1);
+        obj.compute_gradients(&[0.0, 0.0], &[1.0, 0.0], &mut buf);
+        // Positive label: gradient negative (score should rise).
+        assert!(buf.get(0, 0).grad < 0.0);
+        assert!(buf.get(1, 0).grad > 0.0);
+        assert!((buf.get(0, 0).hess - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_gradients_sum_to_zero_per_instance() {
+        let obj = Objective::Softmax { n_classes: 3 };
+        let mut buf = GradBuffer::new(1, 3);
+        obj.compute_gradients(&[0.5, -0.5, 1.0], &[2.0], &mut buf);
+        let sum: f64 = (0..3).map(|k| buf.get(0, k).grad).sum();
+        assert!(sum.abs() < 1e-12);
+        // Gradient of the true class is negative.
+        assert!(buf.get(0, 2).grad < 0.0);
+        assert!(buf.get(0, 0).grad > 0.0);
+    }
+
+    #[test]
+    fn mean_loss_decreases_with_better_scores() {
+        let obj = Objective::Logistic;
+        let labels = [1.0f32, 0.0];
+        let bad = obj.mean_loss(&[-2.0, 2.0], &labels);
+        let good = obj.mean_loss(&[2.0, -2.0], &labels);
+        assert!(good < bad);
+
+        let obj = Objective::Softmax { n_classes: 2 };
+        let bad = obj.mean_loss(&[0.0, 3.0, 3.0, 0.0], &[0.0, 1.0]);
+        let good = obj.mean_loss(&[3.0, 0.0, 0.0, 3.0], &[0.0, 1.0]);
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn transform_produces_probabilities() {
+        assert_eq!(Objective::SquaredError.transform(&[4.2]), vec![4.2]);
+        let p = Objective::Logistic.transform(&[0.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        let p = Objective::Softmax { n_classes: 2 }.transform(&[0.0, 0.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! Evaluation metrics used by the paper's convergence plots: validation AUC
+//! for binary tasks (Figures 11a–f, 12-left) and validation accuracy for
+//! multi-class tasks (Figures 11g–h, 12-mid/right), plus RMSE and log-loss.
+
+/// Area under the ROC curve from raw scores (higher score = class 1).
+///
+/// Rank-based (Mann–Whitney) computation with midrank tie handling.
+/// Returns 0.5 when either class is absent.
+pub fn auc(labels: &[f32], scores: &[f64]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
+    let n = labels.len();
+    let n_pos = labels.iter().filter(|&&y| y == 1.0).count();
+    let n_neg = n - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    // Midranks over tied score groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            if labels[k] == 1.0 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Binary accuracy of probabilities at a 0.5 threshold.
+pub fn accuracy_binary(labels: &[f32], probs: &[f64]) -> f64 {
+    assert_eq!(labels.len(), probs.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let hits = labels
+        .iter()
+        .zip(probs)
+        .filter(|&(&y, &p)| (p >= 0.5) == (y == 1.0))
+        .count();
+    hits as f64 / labels.len() as f64
+}
+
+/// Multi-class accuracy: `scores` is row-major `[instance][class]`.
+pub fn accuracy_multiclass(labels: &[f32], scores: &[f64], n_classes: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len() * n_classes, "scores shape mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for (i, &y) in labels.iter().enumerate() {
+        let row = &scores[i * n_classes..(i + 1) * n_classes];
+        let mut best = 0usize;
+        for (k, &s) in row.iter().enumerate() {
+            if s > row[best] {
+                best = k;
+            }
+        }
+        if best == y as usize {
+            hits += 1;
+        }
+    }
+    hits as f64 / labels.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(labels: &[f32], preds: &[f64]) -> f64 {
+    assert_eq!(labels.len(), preds.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 = labels
+        .iter()
+        .zip(preds)
+        .map(|(&y, &p)| (p - f64::from(y)).powi(2))
+        .sum::<f64>()
+        / labels.len() as f64;
+    mse.sqrt()
+}
+
+/// Binary cross-entropy of probabilities.
+pub fn logloss(labels: &[f32], probs: &[f64]) -> f64 {
+    assert_eq!(labels.len(), probs.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = labels
+        .iter()
+        .zip(probs)
+        .map(|(&y, &p)| {
+            let p = p.clamp(1e-15, 1.0 - 1e-15);
+            if y == 1.0 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(auc(&labels, &[0.1, 0.2, 0.8, 0.9]), 1.0);
+        assert_eq!(auc(&labels, &[0.9, 0.8, 0.2, 0.1]), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let labels = [0.0, 1.0, 0.0, 1.0];
+        // All scores equal: midranks give exactly 0.5.
+        assert!((auc(&labels, &[0.5; 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_handles_partial_order() {
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let scores = [0.9, 0.8, 0.3, 0.4];
+        // Pairs: (0.9>0.8)=1, (0.9>0.4)=1, (0.3<0.8)=0, (0.3<0.4)=0 -> 2/4.
+        assert!((auc(&labels, &scores) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_classes() {
+        assert_eq!(auc(&[1.0, 1.0], &[0.1, 0.9]), 0.5);
+        assert_eq!(auc(&[0.0, 0.0], &[0.1, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn binary_accuracy_counts_threshold_hits() {
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let probs = [0.9, 0.1, 0.4, 0.6];
+        assert!((accuracy_binary(&labels, &probs) - 0.5).abs() < 1e-12);
+        assert_eq!(accuracy_binary(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn multiclass_accuracy_argmax() {
+        let labels = [0.0, 2.0, 1.0];
+        #[rustfmt::skip]
+        let scores = [
+            0.7, 0.2, 0.1, // -> 0 (hit)
+            0.1, 0.1, 0.8, // -> 2 (hit)
+            0.5, 0.3, 0.2, // -> 0 (miss, label 1)
+        ];
+        assert!((accuracy_multiclass(&labels, &scores, 3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_and_logloss_basic() {
+        assert!((rmse(&[1.0, 3.0], &[2.0, 1.0]) - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&[1.0], &[1.0]), 0.0);
+        let ll = logloss(&[1.0, 0.0], &[0.9, 0.1]);
+        assert!((ll - (-(0.9f64.ln()) - (0.9f64).ln()) / 2.0).abs() < 1e-12);
+        // Extreme probs don't produce infinities.
+        assert!(logloss(&[1.0], &[0.0]).is_finite());
+    }
+}

@@ -1,0 +1,291 @@
+//! The boosted ensemble: prediction, evaluation, and (de)serialization.
+
+use crate::loss::Objective;
+use crate::metrics;
+use crate::tree::Tree;
+use gbdt_data::dataset::{Dataset, FeatureMatrix};
+use serde::{Deserialize, Serialize};
+
+/// A trained GBDT model: `ŷᵢ = Σ_t η·f_t(xᵢ)` (leaf values are stored
+/// already scaled by η).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbdtModel {
+    /// The training objective (decides the prediction transform).
+    pub objective: Objective,
+    /// η used during training (informational; already folded into leaves).
+    pub learning_rate: f64,
+    /// Dimensionality the model was trained on.
+    pub n_features: usize,
+    /// Constant scores added before any tree.
+    pub init_scores: Vec<f64>,
+    /// The boosted trees, in training order.
+    pub trees: Vec<Tree>,
+}
+
+impl GbdtModel {
+    /// Creates an empty model (no trees yet).
+    pub fn new(objective: Objective, learning_rate: f64, n_features: usize) -> Self {
+        GbdtModel {
+            objective,
+            learning_rate,
+            n_features,
+            init_scores: objective.init_scores(),
+            trees: Vec::new(),
+        }
+    }
+
+    /// C — raw scores per instance.
+    pub fn n_outputs(&self) -> usize {
+        self.objective.n_outputs()
+    }
+
+    /// Raw scores of one sparse row, summed over trees, into `out` (len C).
+    pub fn predict_row_into(&self, feats: &[u32], vals: &[f32], out: &mut [f64]) {
+        out.copy_from_slice(&self.init_scores);
+        for tree in &self.trees {
+            for (o, &v) in out.iter_mut().zip(tree.predict_row(feats, vals)) {
+                *o += v;
+            }
+        }
+    }
+
+    /// Raw scores of one sparse row.
+    pub fn predict_row(&self, feats: &[u32], vals: &[f32]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_outputs()];
+        self.predict_row_into(feats, vals, &mut out);
+        out
+    }
+
+    /// Transformed prediction (probabilities / regression value) of one row.
+    pub fn predict_row_transformed(&self, feats: &[u32], vals: &[f32]) -> Vec<f64> {
+        self.objective.transform(&self.predict_row(feats, vals))
+    }
+
+    /// Raw scores of every instance, row-major `[instance][class]`.
+    pub fn predict_dataset_raw(&self, dataset: &Dataset) -> Vec<f64> {
+        let c = self.n_outputs();
+        let n = dataset.n_instances();
+        let mut scores = vec![0.0; n * c];
+        match &dataset.features {
+            FeatureMatrix::Sparse(csr) => {
+                for (i, feats, vals) in csr.iter_rows() {
+                    self.predict_row_into(feats, vals, &mut scores[i * c..(i + 1) * c]);
+                }
+            }
+            FeatureMatrix::Dense(dense) => {
+                for i in 0..dense.n_rows() {
+                    let row = dense.row(i);
+                    let out = &mut scores[i * c..(i + 1) * c];
+                    out.copy_from_slice(&self.init_scores);
+                    for tree in &self.trees {
+                        for (o, &v) in out.iter_mut().zip(tree.predict_dense(row)) {
+                            *o += v;
+                        }
+                    }
+                }
+            }
+        }
+        scores
+    }
+
+    /// Evaluates the model on a dataset with the task's canonical metrics.
+    pub fn evaluate(&self, dataset: &Dataset) -> Evaluation {
+        let scores = self.predict_dataset_raw(dataset);
+        evaluation_from_scores(&self.objective, &scores, &dataset.labels)
+    }
+
+    /// Per-feature importance scores.
+    ///
+    /// `SplitCount` counts how often each feature is chosen; `TotalGain`
+    /// sums the Eq. 2 gains its splits achieved. Both are normalized to sum
+    /// to 1 (all-zero when the model has no internal nodes).
+    pub fn feature_importance(&self, kind: ImportanceKind) -> Vec<f64> {
+        let mut scores = vec![0.0; self.n_features];
+        for tree in &self.trees {
+            tree.visit_internal(|feature, _, gain| {
+                if (feature as usize) < scores.len() {
+                    scores[feature as usize] += match kind {
+                        ImportanceKind::SplitCount => 1.0,
+                        ImportanceKind::TotalGain => gain.max(0.0),
+                    };
+                }
+            });
+        }
+        let total: f64 = scores.iter().sum();
+        if total > 0.0 {
+            for s in &mut scores {
+                *s /= total;
+            }
+        }
+        scores
+    }
+
+    /// Serializes to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serializes")
+    }
+
+    /// Deserializes from [`Self::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// How [`GbdtModel::feature_importance`] weighs each split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImportanceKind {
+    /// Each split counts 1.
+    SplitCount,
+    /// Each split counts its Eq. 2 gain.
+    TotalGain,
+}
+
+/// Computes the canonical metrics from raw scores (shared with trainers that
+/// keep running scores during boosting, avoiding a re-predict per tree).
+pub fn evaluation_from_scores(objective: &Objective, scores: &[f64], labels: &[f32]) -> Evaluation {
+    match objective {
+        Objective::SquaredError => Evaluation {
+            auc: None,
+            accuracy: None,
+            rmse: Some(metrics::rmse(labels, scores)),
+            loss: objective.mean_loss(scores, labels),
+        },
+        Objective::Logistic => {
+            let probs: Vec<f64> = scores.iter().map(|&s| crate::loss::sigmoid(s)).collect();
+            Evaluation {
+                auc: Some(metrics::auc(labels, scores)),
+                accuracy: Some(metrics::accuracy_binary(labels, &probs)),
+                rmse: None,
+                loss: objective.mean_loss(scores, labels),
+            }
+        }
+        Objective::Softmax { n_classes } => Evaluation {
+            auc: None,
+            accuracy: Some(metrics::accuracy_multiclass(labels, scores, *n_classes)),
+            rmse: None,
+            loss: objective.mean_loss(scores, labels),
+        },
+    }
+}
+
+/// Task-appropriate evaluation results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// ROC AUC (binary tasks).
+    pub auc: Option<f64>,
+    /// Accuracy (classification tasks).
+    pub accuracy: Option<f64>,
+    /// RMSE (regression).
+    pub rmse: Option<f64>,
+    /// Mean objective loss.
+    pub loss: f64,
+}
+
+impl Evaluation {
+    /// The headline metric the paper plots for this task: AUC for binary,
+    /// accuracy for multi-class, RMSE for regression.
+    pub fn headline(&self) -> f64 {
+        self.auc.or(self.accuracy).or(self.rmse).unwrap_or(self.loss)
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Tree;
+    use gbdt_data::sparse::CsrBuilder;
+
+    fn stump(leaf_left: f64, leaf_right: f64) -> Tree {
+        let mut t = Tree::new(2, 1);
+        t.set_internal(0, 0, 0, 0.5, true);
+        t.set_leaf(1, vec![leaf_left]);
+        t.set_leaf(2, vec![leaf_right]);
+        t
+    }
+
+    fn toy_dataset() -> Dataset {
+        let mut b = CsrBuilder::new(2);
+        b.push_row(&[(0, 0.0)]).unwrap();
+        b.push_row(&[(0, 1.0)]).unwrap();
+        b.push_row(&[(1, 3.0)]).unwrap(); // feature 0 missing
+        Dataset::new(FeatureMatrix::Sparse(b.build()), vec![1.0, 0.0, 1.0], 2, "toy").unwrap()
+    }
+
+    #[test]
+    fn prediction_sums_trees_and_init() {
+        let mut m = GbdtModel::new(Objective::Logistic, 0.1, 2);
+        m.trees.push(stump(1.0, -1.0));
+        m.trees.push(stump(0.5, -0.5));
+        assert_eq!(m.predict_row(&[0], &[0.0]), vec![1.5]);
+        assert_eq!(m.predict_row(&[0], &[1.0]), vec![-1.5]);
+        // Missing feature 0: default left.
+        assert_eq!(m.predict_row(&[1], &[3.0]), vec![1.5]);
+    }
+
+    #[test]
+    fn dataset_prediction_matches_row_prediction() {
+        let mut m = GbdtModel::new(Objective::Logistic, 0.1, 2);
+        m.trees.push(stump(2.0, -2.0));
+        let ds = toy_dataset();
+        let scores = m.predict_dataset_raw(&ds);
+        assert_eq!(scores, vec![2.0, -2.0, 2.0]);
+    }
+
+    #[test]
+    fn evaluate_reports_task_metrics() {
+        let mut m = GbdtModel::new(Objective::Logistic, 0.1, 2);
+        m.trees.push(stump(2.0, -2.0));
+        let eval = m.evaluate(&toy_dataset());
+        // Labels (1,0,1); scores (2,-2,2): perfect ranking.
+        assert_eq!(eval.auc, Some(1.0));
+        assert_eq!(eval.accuracy, Some(1.0));
+        assert!(eval.rmse.is_none());
+        assert!(eval.loss > 0.0);
+        assert_eq!(eval.headline(), 1.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut m = GbdtModel::new(Objective::Softmax { n_classes: 3 }, 0.2, 5);
+        let mut t = Tree::new(1, 3);
+        t.set_leaf(0, vec![0.1, 0.2, 0.3]);
+        m.trees.push(t);
+        let json = m.to_json();
+        let back = GbdtModel::from_json(&json).unwrap();
+        assert_eq!(m, back);
+        assert!(GbdtModel::from_json("{bad json").is_err());
+    }
+
+    #[test]
+    fn feature_importance_normalizes_and_ranks() {
+        let mut m = GbdtModel::new(Objective::Logistic, 0.1, 3);
+        let mut t = Tree::new(3, 1);
+        t.set_internal_with_gain(0, 2, 0, 0.5, true, 10.0);
+        t.set_internal_with_gain(1, 0, 0, 0.5, true, 1.0);
+        t.set_leaf(2, vec![0.0]);
+        t.set_leaf(3, vec![0.0]);
+        t.set_leaf(4, vec![0.0]);
+        m.trees.push(t);
+        let by_count = m.feature_importance(ImportanceKind::SplitCount);
+        assert!((by_count.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(by_count, vec![0.5, 0.0, 0.5]);
+        let by_gain = m.feature_importance(ImportanceKind::TotalGain);
+        assert!(by_gain[2] > by_gain[0]);
+        assert!((by_gain.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // No trees: all zero, no NaN.
+        let empty = GbdtModel::new(Objective::Logistic, 0.1, 3);
+        assert_eq!(empty.feature_importance(ImportanceKind::TotalGain), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn dense_prediction_path() {
+        let mut m = GbdtModel::new(Objective::SquaredError, 0.1, 2);
+        m.trees.push(stump(1.0, 3.0));
+        let dense = gbdt_data::DenseMatrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0]]).unwrap();
+        let ds = Dataset::new(FeatureMatrix::Dense(dense), vec![1.0, 3.0], 0, "d").unwrap();
+        assert_eq!(m.predict_dataset_raw(&ds), vec![1.0, 3.0]);
+        let eval = m.evaluate(&ds);
+        assert_eq!(eval.rmse, Some(0.0));
+    }
+}

@@ -1,0 +1,467 @@
+//! Split gain, leaf weights, and best-split search over histograms.
+//!
+//! Implements Equations 1 and 2 of the paper: the optimal leaf weight
+//! `w* = −G / (H + λ)` and the split gain
+//! `Gain = ½ [G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ`,
+//! generalized to C-dimensional gradients for multi-class (per-class terms
+//! are summed). Instances whose value for the split feature is missing are
+//! routed through a learned **default direction**, chosen as whichever side
+//! yields the higher gain.
+
+use crate::histogram::NodeHistogram;
+use gbdt_data::{BinId, FeatureId};
+use serde::{Deserialize, Serialize};
+
+/// Regularization parameters of the gain computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitParams {
+    /// λ — L2 regularization on leaf weights.
+    pub lambda: f64,
+    /// γ — per-leaf complexity penalty.
+    pub gamma: f64,
+    /// Minimum total hessian on each child.
+    pub min_child_weight: f64,
+}
+
+impl Default for SplitParams {
+    fn default() -> Self {
+        SplitParams { lambda: 1.0, gamma: 0.0, min_child_weight: 1e-3 }
+    }
+}
+
+impl SplitParams {
+    /// Extracts the split parameters from a training config.
+    pub fn from_config(cfg: &crate::config::TrainConfig) -> Self {
+        SplitParams {
+            lambda: cfg.lambda,
+            gamma: cfg.gamma,
+            min_child_weight: cfg.min_child_weight,
+        }
+    }
+}
+
+/// Per-class gradient sums of a tree node (or one side of a split).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Per-class first-order sums G.
+    pub grads: Vec<f64>,
+    /// Per-class second-order sums H.
+    pub hesses: Vec<f64>,
+}
+
+impl NodeStats {
+    /// Zeroed stats for C classes.
+    pub fn zero(n_outputs: usize) -> Self {
+        NodeStats { grads: vec![0.0; n_outputs], hesses: vec![0.0; n_outputs] }
+    }
+
+    /// Number of classes C.
+    pub fn n_outputs(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, other: &NodeStats) {
+        for (a, b) in self.grads.iter_mut().zip(&other.grads) {
+            *a += b;
+        }
+        for (a, b) in self.hesses.iter_mut().zip(&other.hesses) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise difference (`self − other`), e.g. missing = node − present.
+    pub fn sub(&self, other: &NodeStats) -> NodeStats {
+        NodeStats {
+            grads: self.grads.iter().zip(&other.grads).map(|(a, b)| a - b).collect(),
+            hesses: self.hesses.iter().zip(&other.hesses).map(|(a, b)| a - b).collect(),
+        }
+    }
+
+    /// Total hessian across classes (used for `min_child_weight`).
+    pub fn total_hess(&self) -> f64 {
+        self.hesses.iter().sum()
+    }
+
+    /// The structure score `Σ_c G_c² / (H_c + λ)` (twice the negated loss
+    /// contribution of Eq. 1).
+    pub fn score(&self, lambda: f64) -> f64 {
+        self.grads
+            .iter()
+            .zip(&self.hesses)
+            .map(|(&g, &h)| g * g / (h + lambda))
+            .sum()
+    }
+
+    /// Optimal leaf weights `w*_c = −G_c / (H_c + λ)` (Eq. 1).
+    pub fn leaf_weights(&self, lambda: f64) -> Vec<f64> {
+        self.grads
+            .iter()
+            .zip(&self.hesses)
+            .map(|(&g, &h)| -g / (h + lambda))
+            .collect()
+    }
+
+    /// Exact wire encoding (LE f64s after a class-count header).
+    pub fn encode_bytes(&self) -> Vec<u8> {
+        let c = self.grads.len();
+        let mut out = Vec::with_capacity(4 + c * 16);
+        out.extend_from_slice(&(c as u32).to_le_bytes());
+        for v in self.grads.iter().chain(&self.hesses) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes [`Self::encode_bytes`] output.
+    pub fn decode_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let c = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        let payload = &bytes[4..];
+        if payload.len() != c * 16 {
+            return None;
+        }
+        let vals: Vec<f64> = payload
+            .chunks_exact(8)
+            .map(|ch| f64::from_le_bytes(ch.try_into().unwrap()))
+            .collect();
+        Some(NodeStats { grads: vals[..c].to_vec(), hesses: vals[c..].to_vec() })
+    }
+}
+
+/// A candidate split of one tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Split {
+    /// Split feature. Trainers working on vertical shards initially set the
+    /// group-local id and translate to the global id before exchanging
+    /// local bests (§4.2.2: "the master needs to recover the original
+    /// feature afterwards").
+    pub feature: FeatureId,
+    /// Instances with bin ≤ this value go left.
+    pub bin: BinId,
+    /// Where instances missing the feature go.
+    pub default_left: bool,
+    /// Split gain (Eq. 2).
+    pub gain: f64,
+    /// Gradient sums of the left child (missing side included).
+    pub left: NodeStats,
+    /// Gradient sums of the right child (missing side included).
+    pub right: NodeStats,
+}
+
+impl Split {
+    /// Deterministic preference order: larger gain wins; exact ties break
+    /// toward the smaller feature id, then the smaller bin. Every trainer
+    /// uses this single comparison, which is what makes all quadrants grow
+    /// identical trees on identical histograms.
+    pub fn better_than(&self, other: &Split) -> bool {
+        if self.gain != other.gain {
+            return self.gain > other.gain;
+        }
+        if self.feature != other.feature {
+            return self.feature < other.feature;
+        }
+        self.bin < other.bin
+    }
+
+    /// Exact wire encoding for best-split exchange.
+    pub fn encode_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(15 + 2 * (4 + self.left.grads.len() * 16));
+        out.extend_from_slice(&self.feature.to_le_bytes());
+        out.extend_from_slice(&self.bin.to_le_bytes());
+        out.push(u8::from(self.default_left));
+        out.extend_from_slice(&self.gain.to_le_bytes());
+        let left = self.left.encode_bytes();
+        let right = self.right.encode_bytes();
+        out.extend_from_slice(&(left.len() as u32).to_le_bytes());
+        out.extend_from_slice(&left);
+        out.extend_from_slice(&right);
+        out
+    }
+
+    /// Decodes [`Self::encode_bytes`] output.
+    pub fn decode_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 19 {
+            return None;
+        }
+        let feature = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+        let bin = u16::from_le_bytes(bytes[4..6].try_into().ok()?);
+        let default_left = bytes[6] != 0;
+        let gain = f64::from_le_bytes(bytes[7..15].try_into().ok()?);
+        let left_len = u32::from_le_bytes(bytes[15..19].try_into().ok()?) as usize;
+        let left = NodeStats::decode_bytes(bytes.get(19..19 + left_len)?)?;
+        let right = NodeStats::decode_bytes(bytes.get(19 + left_len..)?)?;
+        Some(Split { feature, bin, default_left, gain, left, right })
+    }
+}
+
+/// Finds the best split of one feature from its histogram slice.
+///
+/// `node` holds the full gradient sums of the node (including instances with
+/// missing values for this feature); the missing mass is `node −
+/// feature_totals` and is tried on both sides.
+pub fn best_split_for_feature(
+    hist: &NodeHistogram,
+    feature: FeatureId,
+    n_bins: usize,
+    node: &NodeStats,
+    params: &SplitParams,
+) -> Option<Split> {
+    if n_bins < 2 {
+        return None;
+    }
+    let c = node.n_outputs();
+    let present = hist.feature_totals(feature);
+    let missing = node.sub(&present);
+    let node_score = node.score(params.lambda);
+
+    let mut left_present = NodeStats::zero(c);
+    let mut best: Option<Split> = None;
+
+    // Split after bin b (bins 0..=b left); the last bin never splits.
+    for b in 0..n_bins - 1 {
+        hist.accumulate_bin(feature, b, &mut left_present);
+        let right_present = present.sub(&left_present);
+
+        for default_left in [true, false] {
+            let (left, right) = if default_left {
+                let mut l = left_present.clone();
+                l.add(&missing);
+                (l, right_present.clone())
+            } else {
+                let mut r = right_present.clone();
+                r.add(&missing);
+                (left_present.clone(), r)
+            };
+            if left.total_hess() < params.min_child_weight
+                || right.total_hess() < params.min_child_weight
+            {
+                continue;
+            }
+            let gain =
+                0.5 * (left.score(params.lambda) + right.score(params.lambda) - node_score)
+                    - params.gamma;
+            if gain <= 0.0 {
+                continue;
+            }
+            let candidate = Split {
+                feature,
+                bin: b as BinId,
+                default_left,
+                gain,
+                left,
+                right,
+            };
+            if best.as_ref().is_none_or(|cur| candidate.better_than(cur)) {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
+
+/// Finds the best split over all features of a histogram.
+///
+/// `n_bins_of` reports the true bin count of each (local) feature, which may
+/// be smaller than the histogram stride; `feature_map` translates local ids
+/// to global ids for the returned split.
+pub fn best_split(
+    hist: &NodeHistogram,
+    node: &NodeStats,
+    params: &SplitParams,
+    n_bins_of: impl Fn(FeatureId) -> usize,
+    feature_map: impl Fn(FeatureId) -> FeatureId,
+) -> Option<Split> {
+    best_split_in_range(hist, 0..hist.n_features() as FeatureId, node, params, n_bins_of, feature_map)
+}
+
+/// Finds the best split over a (local) feature subrange of a histogram —
+/// the feature-sharded split finding of reduce-scatter / parameter-server
+/// aggregation, where each worker only holds aggregated histograms for a
+/// slice of the features (§4.1).
+pub fn best_split_in_range(
+    hist: &NodeHistogram,
+    range: std::ops::Range<FeatureId>,
+    node: &NodeStats,
+    params: &SplitParams,
+    n_bins_of: impl Fn(FeatureId) -> usize,
+    feature_map: impl Fn(FeatureId) -> FeatureId,
+) -> Option<Split> {
+    debug_assert!(range.end as usize <= hist.n_features());
+    let mut best: Option<Split> = None;
+    for f in range {
+        if let Some(mut s) = best_split_for_feature(hist, f, n_bins_of(f), node, params) {
+            s.feature = feature_map(f);
+            if best.as_ref().is_none_or(|cur| s.better_than(cur)) {
+                best = Some(s);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SplitParams {
+        SplitParams { lambda: 1.0, gamma: 0.0, min_child_weight: 0.0 }
+    }
+
+    /// Node with two clusters: bin 0 has grads +1 (x4), bin 1 has grads -1 (x4).
+    fn two_cluster_hist() -> (NodeHistogram, NodeStats) {
+        let mut hist = NodeHistogram::new(1, 2, 1);
+        let mut node = NodeStats::zero(1);
+        for _ in 0..4 {
+            hist.add(0, 0, 0, 1.0, 1.0);
+            node.grads[0] += 1.0;
+            node.hesses[0] += 1.0;
+        }
+        for _ in 0..4 {
+            hist.add(0, 1, 0, -1.0, 1.0);
+            node.grads[0] += -1.0;
+            node.hesses[0] += 1.0;
+        }
+        (hist, node)
+    }
+
+    #[test]
+    fn leaf_weight_matches_equation_1() {
+        let stats = NodeStats { grads: vec![4.0], hesses: vec![3.0] };
+        assert_eq!(stats.leaf_weights(1.0), vec![-1.0]);
+        assert_eq!(stats.score(1.0), 4.0);
+    }
+
+    #[test]
+    fn gain_matches_equation_2() {
+        let (hist, node) = two_cluster_hist();
+        let s = best_split_for_feature(&hist, 0, 2, &node, &params()).unwrap();
+        assert_eq!(s.bin, 0);
+        // GL=4, HL=4; GR=-4, HR=4; G=0, H=8.
+        // gain = 0.5*(16/5 + 16/5 - 0) = 3.2
+        assert!((s.gain - 3.2).abs() < 1e-12, "gain {}", s.gain);
+        assert_eq!(s.left.grads, vec![4.0]);
+        assert_eq!(s.right.grads, vec![-4.0]);
+    }
+
+    #[test]
+    fn gamma_subtracts_from_gain_and_can_veto() {
+        let (hist, node) = two_cluster_hist();
+        let p = SplitParams { gamma: 1.0, ..params() };
+        let s = best_split_for_feature(&hist, 0, 2, &node, &p).unwrap();
+        assert!((s.gain - 2.2).abs() < 1e-12);
+        let p = SplitParams { gamma: 10.0, ..params() };
+        assert!(best_split_for_feature(&hist, 0, 2, &node, &p).is_none());
+    }
+
+    #[test]
+    fn min_child_weight_vetoes_thin_children() {
+        let (hist, node) = two_cluster_hist();
+        let p = SplitParams { min_child_weight: 5.0, ..params() };
+        assert!(best_split_for_feature(&hist, 0, 2, &node, &p).is_none());
+    }
+
+    #[test]
+    fn missing_values_choose_best_default_direction() {
+        // Present: bin 0 has grad +2 (hess 2), bin 1 grad 0 (hess 1).
+        // Missing mass: grad -3, hess 3. Best: split after bin 0 with
+        // missing going right (so left is pure positive).
+        let mut hist = NodeHistogram::new(1, 2, 1);
+        hist.add(0, 0, 0, 2.0, 2.0);
+        hist.add(0, 1, 0, 0.0, 1.0);
+        let node = NodeStats { grads: vec![-1.0], hesses: vec![6.0] };
+        let s = best_split_for_feature(&hist, 0, 2, &node, &params()).unwrap();
+        assert!(!s.default_left);
+        assert_eq!(s.left.grads, vec![2.0]);
+        assert_eq!(s.right.grads, vec![-3.0]);
+        assert_eq!(s.right.hesses, vec![4.0]);
+    }
+
+    #[test]
+    fn no_split_on_uniform_gradients() {
+        // All instances identical: any split gives zero gain.
+        let mut hist = NodeHistogram::new(1, 2, 1);
+        hist.add(0, 0, 0, 1.0, 1.0);
+        hist.add(0, 1, 0, 1.0, 1.0);
+        let node = NodeStats { grads: vec![2.0], hesses: vec![2.0] };
+        assert!(best_split_for_feature(&hist, 0, 2, &node, &params()).is_none());
+    }
+
+    #[test]
+    fn single_bin_feature_cannot_split() {
+        let (hist, node) = two_cluster_hist();
+        assert!(best_split_for_feature(&hist, 0, 1, &node, &params()).is_none());
+    }
+
+    #[test]
+    fn best_split_prefers_highest_gain_feature() {
+        // Feature 0 separates weakly, feature 1 perfectly.
+        let mut hist = NodeHistogram::new(2, 2, 1);
+        hist.add(0, 0, 0, 1.0, 2.0); // mixed
+        hist.add(0, 1, 0, -1.0, 2.0);
+        hist.add(1, 0, 0, 2.0, 2.0); // pure
+        hist.add(1, 1, 0, -2.0, 2.0);
+        let node = NodeStats { grads: vec![0.0], hesses: vec![4.0] };
+        let s = best_split(&hist, &node, &params(), |_| 2, |f| f + 100).unwrap();
+        assert_eq!(s.feature, 101); // remapped global id
+    }
+
+    #[test]
+    fn tie_breaks_are_deterministic() {
+        // Two identical features: the smaller id must win.
+        let mut hist = NodeHistogram::new(2, 2, 1);
+        for f in 0..2 {
+            hist.add(f, 0, 0, 1.0, 1.0);
+            hist.add(f, 1, 0, -1.0, 1.0);
+        }
+        let node = NodeStats { grads: vec![0.0], hesses: vec![2.0] };
+        let s = best_split(&hist, &node, &params(), |_| 2, |f| f).unwrap();
+        assert_eq!(s.feature, 0);
+        let a = Split {
+            feature: 1,
+            bin: 0,
+            default_left: true,
+            gain: 1.0,
+            left: NodeStats::zero(1),
+            right: NodeStats::zero(1),
+        };
+        let mut b = a.clone();
+        b.feature = 2;
+        assert!(a.better_than(&b));
+        b.feature = 1;
+        b.bin = 1;
+        assert!(a.better_than(&b));
+        b.bin = 0;
+        assert!(!a.better_than(&b)); // identical: first wins via map_or(false)
+    }
+
+    #[test]
+    fn multiclass_gain_sums_classes() {
+        let mut hist = NodeHistogram::new(1, 2, 2);
+        hist.add_instance(0, 0, &[1.0, -1.0], &[1.0, 1.0]);
+        hist.add_instance(0, 1, &[-1.0, 1.0], &[1.0, 1.0]);
+        let node = NodeStats { grads: vec![0.0, 0.0], hesses: vec![2.0, 2.0] };
+        let s = best_split_for_feature(&hist, 0, 2, &node, &params()).unwrap();
+        // Per class: 0.5*(1/2 + 1/2) = 0.5; two classes -> 1.0.
+        assert!((s.gain - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_and_split_wire_roundtrip() {
+        let stats = NodeStats { grads: vec![1.5, -2.5], hesses: vec![0.5, 3.0] };
+        assert_eq!(NodeStats::decode_bytes(&stats.encode_bytes()).unwrap(), stats);
+        assert!(NodeStats::decode_bytes(&stats.encode_bytes()[..7]).is_none());
+        let split = Split {
+            feature: 12,
+            bin: 7,
+            default_left: false,
+            gain: 3.25,
+            left: stats.clone(),
+            right: NodeStats::zero(2),
+        };
+        assert_eq!(Split::decode_bytes(&split.encode_bytes()).unwrap(), split);
+        assert!(Split::decode_bytes(&split.encode_bytes()[..20]).is_none());
+    }
+}

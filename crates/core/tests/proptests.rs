@@ -1,0 +1,267 @@
+//! Property-based tests of the GBDT core invariants.
+
+use gbdt_core::histogram::NodeHistogram;
+use gbdt_core::split::{best_split_for_feature, NodeStats, SplitParams};
+use gbdt_core::tree::{LookupResult, Tree};
+use gbdt_core::{BinCuts, QuantileSketch};
+use proptest::prelude::*;
+
+/// Brute-force split gain for a single feature: enumerate every bin
+/// boundary and both default directions directly from per-instance data.
+fn brute_force_best_gain(
+    bins: &[Option<u16>], // None = missing
+    grads: &[f64],
+    hesses: &[f64],
+    n_bins: usize,
+    params: &SplitParams,
+) -> Option<f64> {
+    let score = |g: f64, h: f64| g * g / (h + params.lambda);
+    let (gt, ht): (f64, f64) = (grads.iter().sum(), hesses.iter().sum());
+    let mut best: Option<f64> = None;
+    for b in 0..n_bins.saturating_sub(1) {
+        for default_left in [true, false] {
+            let (mut gl, mut hl) = (0.0f64, 0.0f64);
+            for i in 0..bins.len() {
+                let left = match bins[i] {
+                    Some(bin) => bin as usize <= b,
+                    None => default_left,
+                };
+                if left {
+                    gl += grads[i];
+                    hl += hesses[i];
+                }
+            }
+            let (gr, hr) = (gt - gl, ht - hl);
+            if hl < params.min_child_weight || hr < params.min_child_weight {
+                continue;
+            }
+            let gain = 0.5 * (score(gl, hl) + score(gr, hr) - score(gt, ht)) - params.gamma;
+            if gain > 0.0 && best.map_or(true, |cur| gain > cur) {
+                best = Some(gain);
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The histogram split finder must agree with brute-force enumeration.
+    #[test]
+    fn split_finder_matches_brute_force(
+        data in prop::collection::vec(
+            (prop::option::of(0u16..6), -2.0f64..2.0, 0.01f64..2.0),
+            2..40,
+        ),
+        lambda in 0.1f64..5.0,
+        gamma in 0.0f64..0.5,
+    ) {
+        let n_bins = 6usize;
+        let params = SplitParams { lambda, gamma, min_child_weight: 0.0 };
+        let mut hist = NodeHistogram::new(1, n_bins, 1);
+        let mut node = NodeStats::zero(1);
+        let mut bins = Vec::new();
+        let mut grads = Vec::new();
+        let mut hesses = Vec::new();
+        for &(bin, g, h) in &data {
+            if let Some(b) = bin {
+                hist.add(0, b, 0, g, h);
+            }
+            node.grads[0] += g;
+            node.hesses[0] += h;
+            bins.push(bin);
+            grads.push(g);
+            hesses.push(h);
+        }
+        let found = best_split_for_feature(&hist, 0, n_bins, &node, &params);
+        let brute = brute_force_best_gain(&bins, &grads, &hesses, n_bins, &params);
+        match (found, brute) {
+            (Some(s), Some(g)) => prop_assert!(
+                (s.gain - g).abs() < 1e-9,
+                "finder {} vs brute {}", s.gain, g
+            ),
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "finder {:?} vs brute {:?}", a.map(|s| s.gain), b),
+        }
+    }
+
+    /// Histogram subtraction must reproduce the directly built sibling.
+    #[test]
+    fn subtraction_equals_direct_build(
+        entries in prop::collection::vec((0u32..4, 0u16..5, -1.0f64..1.0, 0.0f64..1.0, any::<bool>()), 0..60),
+    ) {
+        let mut parent = NodeHistogram::new(4, 5, 1);
+        let mut left = NodeHistogram::new(4, 5, 1);
+        let mut right = NodeHistogram::new(4, 5, 1);
+        for &(f, b, g, h, goes_left) in &entries {
+            parent.add(f, b, 0, g, h);
+            if goes_left {
+                left.add(f, b, 0, g, h);
+            } else {
+                right.add(f, b, 0, g, h);
+            }
+        }
+        let mut derived = parent.clone();
+        derived.subtract_from(&left);
+        for f in 0..4u32 {
+            for b in 0..5u16 {
+                let d = derived.get(f, b, 0);
+                let r = right.get(f, b, 0);
+                prop_assert!((d.grad - r.grad).abs() < 1e-9);
+                prop_assert!((d.hess - r.hess).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Tree routing by raw value must match routing by the value's bin.
+    #[test]
+    fn value_and_bin_routing_agree(
+        cuts in prop::collection::btree_set(-100i32..100, 1..10),
+        raw_values in prop::collection::vec(prop::option::of(-120i32..120), 1..20),
+    ) {
+        let cut_values: Vec<f32> = cuts.iter().map(|&c| c as f32).collect();
+        let cuts = BinCuts::from_cut_values(vec![cut_values.clone()]);
+        // A stump splitting feature 0 at each LEGAL split bin: the split
+        // finder never splits at the last bin (the right side would only
+        // hold values clamped into it), so neither do we.
+        for bin in 0..cut_values.len().saturating_sub(1) as u16 {
+            let mut tree = Tree::new(2, 1);
+            tree.set_internal(0, 0, bin, cuts.threshold(0, bin), false);
+            tree.set_leaf(1, vec![1.0]);
+            tree.set_leaf(2, vec![-1.0]);
+            for &raw in &raw_values {
+                let by_value = match raw {
+                    Some(v) => tree.predict_row(&[0], &[v as f32])[0],
+                    None => tree.predict_row(&[], &[])[0],
+                };
+                let by_bin = tree.predict_with(|_| match raw {
+                    Some(v) => LookupResult::Bin(cuts.bin(0, v as f32).unwrap()),
+                    None => LookupResult::Missing,
+                })[0];
+                prop_assert_eq!(by_value, by_bin, "raw {:?} bin-split {}", raw, bin);
+            }
+        }
+    }
+
+    /// Sketch quantiles stay within rank-error bounds under random merges.
+    #[test]
+    fn merged_sketch_rank_error_bounded(
+        chunks in prop::collection::vec(prop::collection::vec(-1000i32..1000, 10..300), 1..6),
+    ) {
+        let mut merged = QuantileSketch::new(128);
+        let mut all: Vec<i32> = Vec::new();
+        for chunk in &chunks {
+            let mut local = QuantileSketch::new(128);
+            for &v in chunk {
+                local.insert(v as f32);
+            }
+            merged.merge(&local);
+            all.extend_from_slice(chunk);
+        }
+        all.sort_unstable();
+        let n = all.len();
+        for phi in [0.25f64, 0.5, 0.75] {
+            let got = merged.quantile(phi).unwrap();
+            // Rank of the returned value within the exact data.
+            let rank = all.partition_point(|&v| (v as f32) <= got);
+            let target = phi * n as f64;
+            let err = (rank as f64 - target).abs() / n as f64;
+            prop_assert!(err < 0.15, "phi={} got={} rank={} of {} (err {})", phi, got, rank, n, err);
+        }
+    }
+
+    /// Bin cut application clamps every stored value into a valid bin.
+    #[test]
+    fn binning_is_total_over_training_range(
+        values in prop::collection::vec(-50.0f32..50.0, 1..200),
+        q in 2usize..30,
+    ) {
+        let mut sketch = QuantileSketch::new(64);
+        for &v in &values {
+            sketch.insert(v);
+        }
+        let cuts = BinCuts::from_cut_values(vec![sketch.candidate_splits(q)]);
+        prop_assert!(cuts.n_bins(0) <= q);
+        for &v in &values {
+            let bin = cuts.bin(0, v).unwrap();
+            prop_assert!((bin as usize) < cuts.n_bins(0));
+            // Value is <= its bin's threshold (the defining property).
+            prop_assert!(v <= cuts.threshold(0, bin));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// First- and second-order gradients of every objective must match
+    /// central finite differences of its mean loss.
+    #[test]
+    fn gradients_match_finite_differences(
+        score in -3.0f64..3.0,
+        label_bit in any::<bool>(),
+        class_scores in prop::collection::vec(-3.0f64..3.0, 3),
+        label_class in 0usize..3,
+        target in -2.0f64..2.0,
+    ) {
+        use gbdt_core::{GradBuffer, Objective};
+        let eps = 1e-5;
+
+        // Logistic.
+        let obj = Objective::Logistic;
+        let y = [if label_bit { 1.0f32 } else { 0.0 }];
+        let mut buf = GradBuffer::new(1, 1);
+        obj.compute_gradients(&[score], &y, &mut buf);
+        let g = buf.get(0, 0).grad;
+        let h = buf.get(0, 0).hess;
+        let lp = obj.mean_loss(&[score + eps], &y);
+        let lm = obj.mean_loss(&[score - eps], &y);
+        let l0 = obj.mean_loss(&[score], &y);
+        prop_assert!((g - (lp - lm) / (2.0 * eps)).abs() < 1e-5, "logistic grad");
+        prop_assert!((h - (lp - 2.0 * l0 + lm) / (eps * eps)).abs() < 1e-3, "logistic hess");
+
+        // Squared error.
+        let obj = Objective::SquaredError;
+        let y = [target as f32];
+        let mut buf = GradBuffer::new(1, 1);
+        obj.compute_gradients(&[score], &y, &mut buf);
+        let lp = obj.mean_loss(&[score + eps], &y);
+        let lm = obj.mean_loss(&[score - eps], &y);
+        prop_assert!((buf.get(0, 0).grad - (lp - lm) / (2.0 * eps)).abs() < 1e-4);
+        prop_assert!((buf.get(0, 0).hess - 1.0).abs() < 1e-12);
+
+        // Softmax: per-class first-order gradient (hessian uses the common
+        // 2p(1-p) GBDT surrogate rather than the exact diagonal, so only
+        // the gradient is checked against finite differences).
+        let obj = Objective::Softmax { n_classes: 3 };
+        let y = [label_class as f32];
+        let mut buf = GradBuffer::new(1, 3);
+        obj.compute_gradients(&class_scores, &y, &mut buf);
+        for k in 0..3 {
+            let mut sp = class_scores.clone();
+            sp[k] += eps;
+            let mut sm = class_scores.clone();
+            sm[k] -= eps;
+            let num = (obj.mean_loss(&sp, &y) - obj.mean_loss(&sm, &y)) / (2.0 * eps);
+            prop_assert!(
+                (buf.get(0, k).grad - num).abs() < 1e-4,
+                "softmax grad class {}: {} vs {}", k, buf.get(0, k).grad, num
+            );
+        }
+    }
+
+    /// AUC is invariant under strictly monotone score transforms.
+    #[test]
+    fn auc_is_rank_invariant(
+        pairs in prop::collection::vec((any::<bool>(), -5.0f64..5.0), 4..60),
+    ) {
+        use gbdt_core::metrics::auc;
+        let labels: Vec<f32> = pairs.iter().map(|&(y, _)| f32::from(u8::from(y))).collect();
+        let scores: Vec<f64> = pairs.iter().map(|&(_, s)| s).collect();
+        let transformed: Vec<f64> = scores.iter().map(|&s| (s * 0.3).exp() + 7.0).collect();
+        let a = auc(&labels, &scores);
+        let b = auc(&labels, &transformed);
+        prop_assert!((a - b).abs() < 1e-12, "{} vs {}", a, b);
+    }
+}

@@ -1,0 +1,211 @@
+//! Minimal CSV dataset reader.
+//!
+//! Industrial GBDT pipelines (the paper's §6 setting) commonly stage
+//! tabular extracts as delimited text. This reader handles the dense
+//! numeric case: one instance per line, a label column, every other column
+//! a feature. Empty cells and literal `NA`/`nan` become missing values
+//! (dropped from the sparse representation, so they flow through the
+//! missing-value default-direction machinery rather than being imputed).
+
+use crate::dataset::{Dataset, FeatureMatrix};
+use crate::error::DataError;
+use crate::sparse::CsrBuilder;
+use crate::FeatureId;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+/// CSV parsing options.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first non-comment line is a header to skip.
+    pub has_header: bool,
+    /// Zero-based index of the label column.
+    pub label_column: usize,
+    /// Number of classes (see [`Dataset`]); 0 = regression.
+    pub n_classes: usize,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions { delimiter: ',', has_header: true, label_column: 0, n_classes: 2 }
+    }
+}
+
+fn is_missing(cell: &str) -> bool {
+    cell.is_empty() || cell.eq_ignore_ascii_case("na") || cell.eq_ignore_ascii_case("nan")
+}
+
+/// Reads a CSV dataset from any reader.
+pub fn read_from<R: Read>(
+    reader: R,
+    options: &CsvOptions,
+    name: impl Into<String>,
+) -> Result<Dataset, DataError> {
+    let mut labels: Vec<f32> = Vec::new();
+    let mut rows: Vec<Vec<(FeatureId, f32)>> = Vec::new();
+    let mut n_features: Option<usize> = None;
+    let mut header_skipped = !options.has_header;
+
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !header_skipped {
+            header_skipped = true;
+            continue;
+        }
+        let cells: Vec<&str> = line.split(options.delimiter).map(str::trim).collect();
+        if options.label_column >= cells.len() {
+            return Err(DataError::Parse {
+                line: lineno + 1,
+                message: format!(
+                    "label column {} out of range for {} cells",
+                    options.label_column,
+                    cells.len()
+                ),
+            });
+        }
+        let width = cells.len() - 1;
+        match n_features {
+            None => n_features = Some(width),
+            Some(w) if w != width => {
+                return Err(DataError::Parse {
+                    line: lineno + 1,
+                    message: format!("expected {w} feature cells, found {width}"),
+                })
+            }
+            _ => {}
+        }
+        let label_cell = cells[options.label_column];
+        let label: f32 = label_cell.parse().map_err(|_| DataError::Parse {
+            line: lineno + 1,
+            message: format!("bad label '{label_cell}'"),
+        })?;
+        let label = if options.n_classes == 2 && label == -1.0 { 0.0 } else { label };
+
+        let mut row: Vec<(FeatureId, f32)> = Vec::with_capacity(width);
+        let mut feature_idx = 0u32;
+        for (k, cell) in cells.iter().enumerate() {
+            if k == options.label_column {
+                continue;
+            }
+            if !is_missing(cell) {
+                let value: f32 = cell.parse().map_err(|_| DataError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad value '{cell}' in column {k}"),
+                })?;
+                // Explicit zeros are kept: CSV is a dense format and zero is
+                // informative there, unlike sparse LIBSVM.
+                row.push((feature_idx, value));
+            }
+            feature_idx += 1;
+        }
+        labels.push(label);
+        rows.push(row);
+    }
+
+    let d = n_features.unwrap_or(0);
+    let mut builder = CsrBuilder::new(d);
+    for row in &rows {
+        builder.push_row(row)?;
+    }
+    Dataset::new(FeatureMatrix::Sparse(builder.build()), labels, options.n_classes, name)
+}
+
+/// Reads a CSV dataset from a file path.
+pub fn read_file(path: impl AsRef<Path>, options: &CsvOptions) -> Result<Dataset, DataError> {
+    let name = path
+        .as_ref()
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "csv".to_string());
+    let file = std::fs::File::open(path.as_ref())?;
+    read_from(file, options, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_dense_csv_with_header() {
+        let text = "label,f0,f1\n1,0.5,2.0\n0,1.5,0.0\n";
+        let ds = read_from(text.as_bytes(), &CsvOptions::default(), "t").unwrap();
+        assert_eq!(ds.n_instances(), 2);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.labels, vec![1.0, 0.0]);
+        let csr = ds.features.to_csr();
+        assert_eq!(csr.get(0, 1), Some(2.0));
+        // Explicit zero kept.
+        assert_eq!(csr.get(1, 1), Some(0.0));
+    }
+
+    #[test]
+    fn label_column_in_the_middle() {
+        let text = "0.1,1,0.9\n0.2,0,0.8\n";
+        let opts = CsvOptions { has_header: false, label_column: 1, ..Default::default() };
+        let ds = read_from(text.as_bytes(), &opts, "t").unwrap();
+        assert_eq!(ds.labels, vec![1.0, 0.0]);
+        let csr = ds.features.to_csr();
+        assert_eq!(csr.get(0, 0), Some(0.1));
+        assert_eq!(csr.get(0, 1), Some(0.9));
+    }
+
+    #[test]
+    fn missing_cells_become_missing_values() {
+        let text = "y,a,b\n1,,2.0\n0,3.0,NA\n1,nan,4.0\n";
+        let ds = read_from(text.as_bytes(), &CsvOptions::default(), "t").unwrap();
+        let csr = ds.features.to_csr();
+        assert_eq!(csr.get(0, 0), None);
+        assert_eq!(csr.get(0, 1), Some(2.0));
+        assert_eq!(csr.get(1, 1), None);
+        assert_eq!(csr.get(2, 0), None);
+        assert_eq!(ds.avg_nnz_per_row(), 1.0);
+    }
+
+    #[test]
+    fn rejects_ragged_rows_and_bad_cells() {
+        let opts = CsvOptions { has_header: false, ..Default::default() };
+        assert!(matches!(
+            read_from("1,2.0\n0,1.0,9.0\n".as_bytes(), &opts, "t"),
+            Err(DataError::Parse { line: 2, .. })
+        ));
+        assert!(read_from("1,abc\n".as_bytes(), &opts, "t").is_err());
+        assert!(read_from("zz,1.0\n".as_bytes(), &opts, "t").is_err());
+    }
+
+    #[test]
+    fn minus_one_labels_remap_for_binary() {
+        let opts = CsvOptions { has_header: false, ..Default::default() };
+        let ds = read_from("-1,1.0\n1,2.0\n".as_bytes(), &opts, "t").unwrap();
+        assert_eq!(ds.labels, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn semicolon_delimiter_and_comments() {
+        let opts = CsvOptions {
+            delimiter: ';',
+            has_header: false,
+            n_classes: 0,
+            ..Default::default()
+        };
+        let text = "# comment\n3.5;1.0;2.0\n";
+        let ds = read_from(text.as_bytes(), &opts, "t").unwrap();
+        assert_eq!(ds.labels, vec![3.5]);
+        assert_eq!(ds.n_features(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path = std::env::temp_dir().join("gbdt-csv-test.csv");
+        std::fs::write(&path, "label,x\n1,0.25\n0,0.75\n").unwrap();
+        let ds = read_file(&path, &CsvOptions::default()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ds.n_instances(), 2);
+        assert_eq!(ds.name, "gbdt-csv-test");
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for dataset construction and IO.
+
+use std::fmt;
+
+/// Errors produced while building, converting, or parsing datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// A matrix was constructed with inconsistent dimensions or pointers.
+    Shape(String),
+    /// A feature/instance index exceeded the declared matrix dimensions.
+    IndexOutOfBounds {
+        /// What kind of index overflowed ("feature" or "instance").
+        kind: &'static str,
+        /// The offending index value.
+        index: usize,
+        /// The exclusive bound it had to stay under.
+        bound: usize,
+    },
+    /// A LIBSVM line (or other textual input) could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Underlying IO failure while reading or writing a dataset file.
+    Io(std::io::Error),
+    /// Labels are inconsistent with the declared task, e.g. a class id
+    /// outside `0..n_classes`.
+    Label(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Shape(msg) => write!(f, "inconsistent matrix shape: {msg}"),
+            DataError::IndexOutOfBounds { kind, index, bound } => {
+                write!(f, "{kind} index {index} out of bounds (must be < {bound})")
+            }
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            DataError::Io(err) => write!(f, "io error: {err}"),
+            DataError::Label(msg) => write!(f, "invalid label: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(err: std::io::Error) -> Self {
+        DataError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let err = DataError::Shape("row_ptr len 3 != n_rows + 1 = 4".into());
+        assert!(err.to_string().contains("row_ptr"));
+
+        let err = DataError::IndexOutOfBounds { kind: "feature", index: 10, bound: 5 };
+        assert!(err.to_string().contains("feature index 10"));
+        assert!(err.to_string().contains("< 5"));
+
+        let err = DataError::Parse { line: 7, message: "bad token 'x'".into() };
+        assert!(err.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err = DataError::from(io);
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

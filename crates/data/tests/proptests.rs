@@ -1,0 +1,149 @@
+//! Property-based tests for the storage substrate: conversions between
+//! row-store and column-store must be lossless, sharding must partition, and
+//! wire encodings must round-trip for arbitrary inputs.
+
+use gbdt_data::binned::BinnedRowsBuilder;
+use gbdt_data::block::{Block, BlockedRows};
+use gbdt_data::encoding;
+use gbdt_data::sparse::CsrBuilder;
+use gbdt_data::{BinId, BinnedRows, FeatureId};
+use proptest::prelude::*;
+
+/// Strategy: a sparse matrix as rows of sorted, distinct (feature, value).
+fn arb_rows(max_rows: usize, n_cols: usize) -> impl Strategy<Value = Vec<Vec<(u32, f32)>>> {
+    prop::collection::vec(
+        prop::collection::btree_map(0..n_cols as u32, -100.0f32..100.0, 0..n_cols.min(12))
+            .prop_map(|m| m.into_iter().collect::<Vec<_>>()),
+        0..max_rows,
+    )
+}
+
+/// Strategy: binned rows with bins < q.
+fn arb_binned(max_rows: usize, n_cols: usize, q: u16) -> impl Strategy<Value = Vec<Vec<(u32, u16)>>> {
+    prop::collection::vec(
+        prop::collection::btree_map(0..n_cols as u32, 0..q, 0..n_cols.min(12))
+            .prop_map(|m| m.into_iter().collect::<Vec<_>>()),
+        0..max_rows,
+    )
+}
+
+fn build_csr(rows: &[Vec<(u32, f32)>], n_cols: usize) -> gbdt_data::CsrMatrix {
+    let mut b = CsrBuilder::new(n_cols);
+    for row in rows {
+        b.push_row(row).unwrap();
+    }
+    b.build()
+}
+
+fn build_binned(rows: &[Vec<(u32, u16)>], n_cols: usize) -> BinnedRows {
+    let mut b = BinnedRowsBuilder::new(n_cols);
+    for row in rows {
+        b.push_row(row).unwrap();
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn csr_csc_roundtrip(rows in arb_rows(30, 8)) {
+        let m = build_csr(&rows, 8);
+        prop_assert_eq!(m.clone(), m.to_csc().to_csr());
+    }
+
+    #[test]
+    fn csr_get_matches_source(rows in arb_rows(20, 6)) {
+        let m = build_csr(&rows, 6);
+        for (i, row) in rows.iter().enumerate() {
+            for f in 0u32..6 {
+                let expected = row.iter().find(|&&(g, _)| g == f).map(|&(_, v)| v);
+                prop_assert_eq!(m.get(i, f), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_shards_partition_rows(rows in arb_rows(30, 6), cut in 0usize..30) {
+        let m = build_csr(&rows, 6);
+        let cut = cut.min(m.n_rows());
+        let a = m.slice_rows(0, cut);
+        let b = m.slice_rows(cut, m.n_rows());
+        prop_assert_eq!(a.n_rows() + b.n_rows(), m.n_rows());
+        prop_assert_eq!(a.nnz() + b.nnz(), m.nnz());
+        for i in 0..a.n_rows() {
+            prop_assert_eq!(a.row(i), m.row(i));
+        }
+        for i in 0..b.n_rows() {
+            prop_assert_eq!(b.row(i), m.row(cut + i));
+        }
+    }
+
+    #[test]
+    fn binned_roundtrip_and_vertical_shard(rows in arb_binned(30, 8, 16)) {
+        let m = build_binned(&rows, 8);
+        prop_assert_eq!(m.clone(), m.to_columns().to_rows());
+        // A 2-way vertical shard partitions the pairs.
+        let left: Vec<FeatureId> = (0u32..4).collect();
+        let right: Vec<FeatureId> = (4u32..8).collect();
+        let a = m.select_cols(&left);
+        let b = m.select_cols(&right);
+        prop_assert_eq!(a.nnz() + b.nnz(), m.nnz());
+        for i in 0..m.n_rows() {
+            for f in 0u32..4 {
+                prop_assert_eq!(a.get(i, f), m.get(i, f));
+                prop_assert_eq!(b.get(i, f), m.get(i, f + 4));
+            }
+        }
+    }
+
+    #[test]
+    fn naive_encoding_roundtrip(pairs in prop::collection::vec((any::<u32>(), -1e9f64..1e9), 0..200)) {
+        let enc = encoding::encode_naive(&pairs);
+        prop_assert_eq!(enc.len(), pairs.len() * encoding::NAIVE_PAIR_BYTES);
+        prop_assert_eq!(encoding::decode_naive(enc).unwrap(), pairs);
+    }
+
+    #[test]
+    fn compressed_encoding_roundtrip(
+        raw in prop::collection::vec((0u32..5000, 0u16..300), 0..200),
+        p in 1usize..100_000,
+        q in 1usize..400,
+    ) {
+        let pairs: Vec<(FeatureId, BinId)> = raw
+            .into_iter()
+            .map(|(f, b)| (f % p.min(u32::MAX as usize) as u32, b % q.min(u16::MAX as usize + 1) as u16))
+            .collect();
+        let enc = encoding::encode_compressed(&pairs, p, q);
+        prop_assert_eq!(encoding::decode_compressed(enc, p, q).unwrap(), pairs);
+    }
+
+    #[test]
+    fn blockify_roundtrip_via_wire(rows in arb_binned(40, 8, 20), n_blocks in 1usize..5) {
+        let m = build_binned(&rows, 8);
+        if m.n_rows() == 0 {
+            return Ok(());
+        }
+        // Split rows into n_blocks contiguous chunks, encode each block,
+        // decode, assemble, merge — the result must equal the original.
+        let n = m.n_rows();
+        let chunk = n.div_ceil(n_blocks);
+        let mut blocks = Vec::new();
+        for (k, lo) in (0..n).step_by(chunk).enumerate() {
+            let hi = (lo + chunk).min(n);
+            let mut feats = Vec::new();
+            let mut bins = Vec::new();
+            let mut row_ptr = vec![0u32];
+            for i in lo..hi {
+                let (f, b) = m.row(i);
+                feats.extend_from_slice(f);
+                bins.extend_from_slice(b);
+                row_ptr.push(feats.len() as u32);
+            }
+            let block = Block::new(k as u32, lo as u32, feats, bins, row_ptr).unwrap();
+            let wire = encoding::encode_block(&block, 8, 20);
+            blocks.push(encoding::decode_block(wire, 8, 20).unwrap());
+        }
+        let mut assembled = BlockedRows::assemble(8, blocks).unwrap();
+        assembled.merge(2);
+        prop_assert_eq!(assembled.to_binned_rows(), m);
+    }
+}

@@ -1,0 +1,101 @@
+//! Horizontal (row) partitioning: contiguous instance ranges per worker —
+//! the de facto layout of datasets arriving from distributed file systems.
+
+use serde::{Deserialize, Serialize};
+
+/// A horizontal partition of N instances over W workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HorizontalPartition {
+    n_instances: usize,
+    world: usize,
+}
+
+impl HorizontalPartition {
+    /// Partitions `n_instances` rows over `world` workers as evenly as
+    /// possible (earlier workers take the remainder).
+    pub fn new(n_instances: usize, world: usize) -> Self {
+        assert!(world >= 1, "need at least one worker");
+        HorizontalPartition { n_instances, world }
+    }
+
+    /// Total instance count.
+    pub fn n_instances(&self) -> usize {
+        self.n_instances
+    }
+
+    /// Worker count.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// The `[lo, hi)` row range of worker `w`.
+    pub fn bounds(&self, w: usize) -> (usize, usize) {
+        assert!(w < self.world, "worker {w} out of range");
+        let base = self.n_instances / self.world;
+        let extra = self.n_instances % self.world;
+        let lo = w * base + w.min(extra);
+        let hi = lo + base + usize::from(w < extra);
+        (lo, hi)
+    }
+
+    /// Number of rows on worker `w`.
+    pub fn shard_len(&self, w: usize) -> usize {
+        let (lo, hi) = self.bounds(w);
+        hi - lo
+    }
+
+    /// The worker owning global row `i`.
+    pub fn owner_of(&self, i: usize) -> usize {
+        assert!(i < self.n_instances, "row {i} out of range");
+        let base = self.n_instances / self.world;
+        let extra = self.n_instances % self.world;
+        let boundary = extra * (base + 1);
+        if i < boundary {
+            i / (base + 1)
+        } else {
+            extra + (i - boundary) / base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_cover_all_rows_contiguously() {
+        for (n, w) in [(10, 3), (7, 7), (5, 8), (100, 1), (0, 4)] {
+            let p = HorizontalPartition::new(n, w);
+            let mut expected = 0;
+            for worker in 0..w {
+                let (lo, hi) = p.bounds(worker);
+                assert_eq!(lo, expected, "n={n} w={w} worker={worker}");
+                assert!(hi >= lo);
+                expected = hi;
+            }
+            assert_eq!(expected, n);
+        }
+    }
+
+    #[test]
+    fn shards_differ_by_at_most_one() {
+        let p = HorizontalPartition::new(10, 3);
+        let sizes: Vec<_> = (0..3).map(|w| p.shard_len(w)).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn owner_of_inverts_bounds() {
+        for (n, w) in [(10, 3), (17, 5), (8, 8), (23, 4)] {
+            let p = HorizontalPartition::new(n, w);
+            for i in 0..n {
+                let owner = p.owner_of(i);
+                let (lo, hi) = p.bounds(owner);
+                assert!(
+                    (lo..hi).contains(&i),
+                    "n={n} w={w}: row {i} claimed by {owner} with range {lo}..{hi}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! LightGBM's feature-parallel mode (Appendix D).
+//!
+//! The dataset is **never partitioned**: every worker loads a full copy.
+//! Histogram construction and split finding proceed as in vertical
+//! partitioning (each worker covers a feature subset and local bests are
+//! exchanged), but node splitting needs no placement broadcast — every
+//! worker owns every feature and computes placements locally. The paper's
+//! verdict: fast on small data (no histogram aggregation, no bitmap
+//! traffic) but "impractical for large-scale workloads" because per-worker
+//! memory holds the entire dataset — which our `data_bytes` gauge reports.
+
+use crate::common::{subtraction_plan, DistTrainResult, Frontier, TreeStat, TreeTracker};
+use crate::qd2::exchange_local_bests;
+use gbdt_cluster::{Cluster, Phase, WorkerCtx};
+use gbdt_core::histogram::HistogramPool;
+use gbdt_core::indexes::NodeToInstanceIndex;
+use gbdt_core::split::{best_split, NodeStats, Split, SplitParams};
+use gbdt_core::tree::{self, Tree};
+use gbdt_core::{BinCuts, GbdtModel, GradBuffer, TrainConfig};
+use gbdt_data::dataset::Dataset;
+use gbdt_data::{BinnedRows, FeatureId};
+use gbdt_partition::{ColumnGrouping, GroupingStrategy};
+
+/// Trains feature-parallel on `cluster.world` workers (full replica each).
+pub fn train(cluster: &Cluster, dataset: &Dataset, config: &TrainConfig) -> DistTrainResult {
+    config.validate().expect("invalid training config");
+    // With a full replica everywhere, cuts and grouping are computed
+    // identically and locally on every worker — no sketch repartition.
+    let (outputs, stats) = cluster.run(|ctx| train_worker(ctx, dataset, config));
+    let mut models = Vec::new();
+    let mut per_worker_trees = Vec::new();
+    for (model, trees) in outputs {
+        models.push(model);
+        per_worker_trees.push(trees);
+    }
+    DistTrainResult {
+        model: models.swap_remove(0),
+        per_tree: crate::common::merge_tree_stats(&per_worker_trees),
+        stats,
+    }
+}
+
+fn train_worker(
+    ctx: &mut WorkerCtx,
+    dataset: &Dataset,
+    config: &TrainConfig,
+) -> (GbdtModel, Vec<TreeStat>) {
+    let rank = ctx.rank();
+    let world = ctx.world();
+    let d = dataset.n_features();
+    let q = config.n_bins;
+    let c = config.n_outputs();
+    let n = dataset.n_instances();
+    let params = SplitParams::from_config(config);
+    let objective = config.objective;
+
+    // Full local copy: sketch, bin, and group features — all locally.
+    let cuts = ctx.time(Phase::Sketch, || BinCuts::from_dataset(dataset, q));
+    let full: BinnedRows = ctx.time(Phase::Sketch, || cuts.apply(dataset));
+    let grouping = ctx.time(Phase::Sketch, || {
+        let mut weights = vec![0u64; d];
+        for i in 0..n {
+            for &f in full.row(i).0 {
+                weights[f as usize] += 1;
+            }
+        }
+        ColumnGrouping::build(GroupingStrategy::GreedyBalanced, d, world, &weights)
+    });
+    // Per-worker feature-subset view for histogram building.
+    let local: BinnedRows =
+        ctx.time(Phase::Sketch, || full.select_cols(grouping.group_features(rank)));
+    // The defining cost: the WHOLE dataset lives on this worker.
+    ctx.stats.data_bytes = (full.heap_bytes() + local.heap_bytes() + n * 4) as u64;
+
+    let mut model = GbdtModel::new(objective, config.learning_rate, d);
+    let mut scores = vec![0.0f64; n * c];
+    for chunk in scores.chunks_mut(c) {
+        chunk.copy_from_slice(&model.init_scores);
+    }
+    let mut grads = GradBuffer::new(n, c);
+    let mut index = NodeToInstanceIndex::new(n);
+    let mut pool = HistogramPool::new(grouping.group_len(rank), q, c);
+    ctx.stats.index_bytes = index.heap_bytes() as u64;
+
+    let to_global = |f: FeatureId| grouping.global_id(rank, f);
+
+    let mut tracker = TreeTracker::default();
+    tracker.lap(ctx);
+    let mut per_tree = Vec::with_capacity(config.n_trees);
+
+    for _ in 0..config.n_trees {
+        ctx.time(Phase::Gradients, || {
+            objective.compute_gradients(&scores, &dataset.labels, &mut grads)
+        });
+        let mut tree = Tree::new(config.n_layers, c);
+
+        let mut root_stats = NodeStats::zero(c);
+        ctx.time(Phase::Gradients, || {
+            let mut g = vec![0.0; c];
+            let mut h = vec![0.0; c];
+            grads.sum_instances(index.instances(0), &mut g, &mut h);
+            root_stats.grads.copy_from_slice(&g);
+            root_stats.hesses.copy_from_slice(&h);
+        });
+        let mut frontier = Frontier::root(root_stats, n as u64);
+        let mut leaves: Vec<u32> = Vec::new();
+
+        for layer in 0..config.n_layers {
+            if frontier.nodes.is_empty() {
+                break;
+            }
+            if layer + 1 == config.n_layers {
+                for &node in &frontier.nodes {
+                    tree.set_leaf_from_stats(
+                        node,
+                        &frontier.stats[&node],
+                        params.lambda,
+                        config.learning_rate,
+                    );
+                    leaves.push(node);
+                }
+                break;
+            }
+
+            ctx.time(Phase::HistogramBuild, || {
+                if layer == 0 {
+                    build_histogram(&mut pool, 0, &local, &grads, &index);
+                } else {
+                    let mut k = 0;
+                    while k < frontier.nodes.len() {
+                        let (l, r) = (frontier.nodes[k], frontier.nodes[k + 1]);
+                        let (build_left, _) =
+                            subtraction_plan(frontier.counts[&l], frontier.counts[&r]);
+                        let (b, s) = if build_left { (l, r) } else { (r, l) };
+                        build_histogram(&mut pool, b, &local, &grads, &index);
+                        pool.subtract_sibling(tree::parent(l), b, s);
+                        k += 2;
+                    }
+                }
+            });
+            ctx.stats.histogram_peak_bytes = pool.peak_bytes() as u64;
+
+            let locals: Vec<Option<Split>> = ctx.time(Phase::SplitFind, || {
+                frontier
+                    .nodes
+                    .iter()
+                    .map(|&node| {
+                        if frontier.counts[&node] < config.min_node_instances as u64 {
+                            return None;
+                        }
+                        best_split(
+                            pool.get(node).expect("histogram live"),
+                            &frontier.stats[&node],
+                            &params,
+                            |f| cuts.n_bins(to_global(f)),
+                            to_global,
+                        )
+                    })
+                    .collect()
+            });
+            let decisions = exchange_local_bests(ctx, &locals);
+
+            // Node splitting is LOCAL: the full replica answers every
+            // feature lookup — no bitmap broadcast (Appendix D).
+            let mut next = Frontier::default();
+            for (&node, decision) in frontier.nodes.iter().zip(decisions) {
+                match decision {
+                    Some(split) => {
+                        tree.set_internal_with_gain(
+                            node,
+                            split.feature,
+                            split.bin,
+                            cuts.threshold(split.feature, split.bin),
+                            split.default_left,
+                            split.gain,
+                        );
+                        let (lc, rc) = ctx.time(Phase::NodeSplit, || {
+                            index.split(node, |i| match full.get(i as usize, split.feature) {
+                                Some(b) => b <= split.bin,
+                                None => split.default_left,
+                            })
+                        });
+                        Frontier::push_children(&mut next, node, &split, lc as u64, rc as u64);
+                    }
+                    None => {
+                        tree.set_leaf_from_stats(
+                            node,
+                            &frontier.stats[&node],
+                            params.lambda,
+                            config.learning_rate,
+                        );
+                        leaves.push(node);
+                        pool.release(node);
+                    }
+                }
+            }
+            frontier = next;
+        }
+
+        ctx.time(Phase::Predict, || {
+            for &leaf in &leaves {
+                let values = match &tree.node(leaf).expect("leaf set").kind {
+                    tree::NodeKind::Leaf { values } => values.clone(),
+                    _ => unreachable!("leaves vector only holds leaf nodes"),
+                };
+                for &i in index.instances(leaf) {
+                    let base = i as usize * c;
+                    for (k, &v) in values.iter().enumerate() {
+                        scores[base + k] += v;
+                    }
+                }
+            }
+        });
+
+        pool.release_all();
+        index.reset();
+        model.trees.push(tree);
+        per_tree.push(tracker.lap(ctx));
+    }
+    (model, per_tree)
+}
+
+fn build_histogram(
+    pool: &mut HistogramPool,
+    node: u32,
+    local: &BinnedRows,
+    grads: &GradBuffer,
+    index: &NodeToInstanceIndex,
+) {
+    let hist = pool.acquire(node);
+    for &i in index.instances(node) {
+        let (g, h) = grads.instance(i as usize);
+        let (feats, bins) = local.row(i as usize);
+        for (&f, &b) in feats.iter().zip(bins) {
+            hist.add_instance(f, b, g, h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbdt_data::synthetic::SyntheticConfig;
+
+    fn dataset(n: usize, d: usize, seed: u64) -> Dataset {
+        SyntheticConfig {
+            n_instances: n,
+            n_features: d,
+            n_classes: 2,
+            density: 0.5,
+            label_noise: 0.02,
+            seed,
+            ..Default::default()
+        }
+        .generate()
+    }
+
+    fn config(trees: usize) -> TrainConfig {
+        TrainConfig::builder().n_trees(trees).n_layers(5).build().unwrap()
+    }
+
+    #[test]
+    fn learns_binary() {
+        let ds = dataset(1_000, 12, 163);
+        let result = train(&Cluster::new(3), &ds, &config(8));
+        assert!(result.model.evaluate(&ds).auc.unwrap() > 0.85);
+    }
+
+    #[test]
+    fn matches_single_node_reference() {
+        // Full replica + local cuts = exactly the single-node computation,
+        // just with split finding sharded.
+        let ds = dataset(700, 10, 167);
+        let cfg = config(5);
+        let fp = train(&Cluster::new(3), &ds, &cfg);
+        let single = crate::single::train(&ds, &cfg);
+        let pf = fp.model.predict_dataset_raw(&ds);
+        let ps = single.predict_dataset_raw(&ds);
+        for (a, b) in pf.iter().zip(&ps) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn memory_holds_full_dataset_per_worker() {
+        let ds = dataset(500, 10, 173);
+        let result = train(&Cluster::new(4), &ds, &config(2));
+        // Every worker's data_bytes covers the full dataset, unlike the
+        // partitioned quadrants where shards shrink with W.
+        let full_bytes = result.stats.workers[0].data_bytes;
+        for w in &result.stats.workers {
+            assert!(w.data_bytes >= full_bytes * 9 / 10);
+        }
+        let qd4 = crate::qd4::train(&Cluster::new(4), &ds, &config(2));
+        assert!(
+            result.stats.max_data_bytes() > qd4.stats.max_data_bytes(),
+            "replica {} should exceed vertical shard {}",
+            result.stats.max_data_bytes(),
+            qd4.stats.max_data_bytes()
+        );
+    }
+
+    #[test]
+    fn no_placement_broadcast_traffic() {
+        // Feature-parallel sends only sketches/splits; per-tree traffic
+        // must be far below QD4's bitmap broadcasts for the same shape.
+        let ds = dataset(2_000, 10, 179);
+        let cfg = config(6);
+        let fp = train(&Cluster::new(2), &ds, &cfg);
+        let qd4 = crate::qd4::train(&Cluster::new(2), &ds, &cfg);
+        assert!(
+            fp.stats.total_bytes_sent() < qd4.stats.total_bytes_sent(),
+            "FP {} vs QD4 {}",
+            fp.stats.total_bytes_sent(),
+            qd4.stats.total_bytes_sent()
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Vero system configuration.
+
+use gbdt_cluster::NetworkCostModel;
+use gbdt_core::{Objective, TrainConfig};
+use gbdt_partition::transform::{TransformConfig, WireEncoding};
+use gbdt_partition::GroupingStrategy;
+
+/// Full configuration of a Vero training run: cluster shape, link model,
+/// transformation options, and GBDT hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct VeroConfig {
+    /// Number of workers W.
+    pub workers: usize,
+    /// Link model for communication-time accounting.
+    pub network: NetworkCostModel,
+    /// GBDT hyper-parameters (T, L, q, η, λ, γ, objective).
+    pub train: TrainConfig,
+    /// Horizontal-to-vertical transformation options.
+    pub transform: TransformConfig,
+}
+
+impl VeroConfig {
+    /// Starts a builder with the paper's §5.1 defaults (8 workers, 1 Gbps,
+    /// T = 100, L = 8, q = 20, greedy-balanced blockified transform).
+    pub fn builder() -> VeroConfigBuilder {
+        VeroConfigBuilder {
+            cfg: VeroConfig {
+                workers: 8,
+                network: NetworkCostModel::lab_cluster(),
+                train: TrainConfig::default(),
+                transform: TransformConfig::default(),
+            },
+        }
+    }
+}
+
+/// Fluent builder for [`VeroConfig`].
+#[derive(Debug, Clone)]
+pub struct VeroConfigBuilder {
+    cfg: VeroConfig,
+}
+
+impl VeroConfigBuilder {
+    /// Sets the worker count W.
+    pub fn workers(mut self, w: usize) -> Self {
+        self.cfg.workers = w;
+        self
+    }
+
+    /// Sets the link model.
+    pub fn network(mut self, model: NetworkCostModel) -> Self {
+        self.cfg.network = model;
+        self
+    }
+
+    /// Sets T, the number of trees.
+    pub fn n_trees(mut self, t: usize) -> Self {
+        self.cfg.train.n_trees = t;
+        self
+    }
+
+    /// Sets L, the number of tree layers.
+    pub fn n_layers(mut self, l: usize) -> Self {
+        self.cfg.train.n_layers = l;
+        self
+    }
+
+    /// Sets q, the number of candidate splits.
+    pub fn n_bins(mut self, q: usize) -> Self {
+        self.cfg.train.n_bins = q;
+        self.cfg.transform.n_bins = q;
+        self
+    }
+
+    /// Sets η, the learning rate.
+    pub fn learning_rate(mut self, eta: f64) -> Self {
+        self.cfg.train.learning_rate = eta;
+        self
+    }
+
+    /// Sets λ, the L2 leaf regularization.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.cfg.train.lambda = lambda;
+        self
+    }
+
+    /// Sets γ, the per-leaf penalty.
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.cfg.train.gamma = gamma;
+        self
+    }
+
+    /// Sets the training objective.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.cfg.train.objective = objective;
+        self
+    }
+
+    /// Sets the column grouping strategy (default: greedy balanced).
+    pub fn grouping(mut self, strategy: GroupingStrategy) -> Self {
+        self.cfg.transform.strategy = strategy;
+        self
+    }
+
+    /// Sets the repartition wire format (default: blockified).
+    pub fn encoding(mut self, encoding: WireEncoding) -> Self {
+        self.cfg.transform.encoding = encoding;
+        self
+    }
+
+    /// Finalizes, validating everything.
+    pub fn build(self) -> Result<VeroConfig, String> {
+        if self.cfg.workers == 0 {
+            return Err("workers must be >= 1".into());
+        }
+        self.cfg.train.validate()?;
+        if self.cfg.transform.n_bins != self.cfg.train.n_bins {
+            return Err("transform.n_bins must equal train.n_bins".into());
+        }
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = VeroConfig::builder().build().unwrap();
+        assert_eq!(cfg.workers, 8);
+        assert_eq!(cfg.train.n_trees, 100);
+        assert_eq!(cfg.train.n_layers, 8);
+        assert_eq!(cfg.train.n_bins, 20);
+        assert_eq!(cfg.transform.encoding, WireEncoding::Blockified);
+        assert_eq!(cfg.transform.strategy, GroupingStrategy::GreedyBalanced);
+    }
+
+    #[test]
+    fn n_bins_keeps_transform_in_sync() {
+        let cfg = VeroConfig::builder().n_bins(32).build().unwrap();
+        assert_eq!(cfg.train.n_bins, 32);
+        assert_eq!(cfg.transform.n_bins, 32);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(VeroConfig::builder().workers(0).build().is_err());
+        assert!(VeroConfig::builder().n_trees(0).build().is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! **Vero** — distributed GBDT with vertical partitioning and row-store.
+//!
+//! This is the end-to-end system of the paper's §4.2: load a horizontally
+//! partitioned dataset, repartition it vertically with the compressed,
+//! blockified transformation (§4.2.1), and train with the QD4 routine
+//! (local histograms + subtraction, local-best-split exchange, placement
+//! bitmaps — §4.2.2), on the in-process cluster substrate.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vero::{Vero, VeroConfig};
+//! use gbdt_data::synthetic::SyntheticConfig;
+//!
+//! let dataset = SyntheticConfig { n_instances: 2_000, n_features: 50, ..Default::default() }
+//!     .generate();
+//! let (train, valid) = dataset.split_validation(0.2);
+//!
+//! let config = VeroConfig::builder()
+//!     .workers(4)
+//!     .n_trees(10)
+//!     .n_layers(5)
+//!     .build()
+//!     .unwrap();
+//! let outcome = Vero::fit(&config, &train);
+//! let eval = outcome.model.evaluate(&valid);
+//! assert!(eval.auc.unwrap() > 0.7);
+//! ```
+
+pub mod config;
+pub mod report;
+pub mod system;
+
+pub use config::{VeroConfig, VeroConfigBuilder};
+pub use report::{convergence_curve, ConvergencePoint};
+pub use system::{TrainOutcome, Vero, VeroModel};
+
+// Re-export the pieces users touch through the facade.
+pub use gbdt_cluster::NetworkCostModel;
+pub use gbdt_core::{Objective, TrainConfig};
+pub use gbdt_data::dataset::Dataset;
+pub use gbdt_partition::transform::WireEncoding;
+pub use gbdt_partition::GroupingStrategy;
