@@ -1,10 +1,12 @@
 //! Micro-benchmarks of histogram construction — the dominant GBDT cost
 //! (§3.2.4) — across the storage patterns the paper contrasts, plus the
-//! element-wise kernels (merge, subtraction).
+//! element-wise kernels (merge, subtraction) and the intra-worker
+//! thread-scaling of the chunked parallel builder.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gbdt_core::histogram::NodeHistogram;
+use gbdt_core::histogram::{HistogramPool, NodeHistogram};
 use gbdt_core::indexes::{InstanceToNodeIndex, NodeToInstanceIndex};
+use gbdt_core::parallel::{build_histogram_chunked, Meter};
 use gbdt_core::GradBuffer;
 use gbdt_data::binned::BinnedRowsBuilder;
 use gbdt_data::BinnedRows;
@@ -135,9 +137,84 @@ fn bench_elementwise(c: &mut Criterion) {
     group.finish();
 }
 
+/// Criteo-shaped node build (§5.2): D = 1000, q = 20, C = 2 outputs,
+/// N = 100K instances in one node, swept over the intra-worker thread
+/// budget. The determinism invariant is asserted outside the timed loop:
+/// every thread count produces byte-identical histogram contents.
+///
+/// On a host with ≥ 4 cores the 4-thread point runs ≥ 2× faster than the
+/// 1-thread point (25 chunk partials fan across a 4-wide wave). On a
+/// single-core host the sweep only measures spawn + merge overhead, so no
+/// speedup threshold is asserted at run time.
+fn bench_thread_scaling(c: &mut Criterion) {
+    const TN: usize = 100_000;
+    const TD: usize = 1000;
+    const TC: usize = 2;
+
+    let mut rng = StdRng::seed_from_u64(29);
+    let mut b = BinnedRowsBuilder::with_capacity(TD, TN, TN * NNZ);
+    let mut row: Vec<(u32, u16)> = Vec::with_capacity(NNZ);
+    for _ in 0..TN {
+        row.clear();
+        let mut f = rng.gen_range(0..(TD / NNZ) as u32);
+        for _ in 0..NNZ {
+            if f as usize >= TD {
+                break;
+            }
+            row.push((f, rng.gen_range(0..Q as u16)));
+            f += rng.gen_range(1..=(TD / NNZ) as u32);
+        }
+        b.push_row(&row).unwrap();
+    }
+    let binned = b.build();
+    let mut grads = GradBuffer::new(TN, TC);
+    for i in 0..TN {
+        for k in 0..TC {
+            grads.set(i, k, rng.gen_range(-1.0..1.0), rng.gen_range(0.0..1.0));
+        }
+    }
+    let instances: Vec<u32> = (0..TN as u32).collect();
+
+    let build = |threads: usize| -> NodeHistogram {
+        let mut pool = HistogramPool::new(TD, Q, TC);
+        let meter = Meter::default();
+        build_histogram_chunked(&mut pool, 0, &instances, threads, &meter, |hist, chunk| {
+            for &i in chunk {
+                let (feats, bins) = binned.row(i as usize);
+                let (gs, hs) = grads.instance(i as usize);
+                for (&f, &bin) in feats.iter().zip(bins) {
+                    for k in 0..TC {
+                        hist.add(f, bin, k, gs[k], hs[k]);
+                    }
+                }
+            }
+        });
+        pool.get(0).unwrap().clone()
+    };
+
+    // Determinism guard, outside the timed region: contents must be
+    // bit-identical at every thread count (see DESIGN.md §4.4).
+    let reference = build(1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            build(threads),
+            reference,
+            "thread count {threads} changed histogram contents"
+        );
+    }
+
+    let mut group = c.benchmark_group("histogram_thread_scaling");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("criteo_shape_node", threads), |b| {
+            b.iter(|| black_box(build(threads)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_build, bench_elementwise
+    targets = bench_build, bench_elementwise, bench_thread_scaling
 }
 criterion_main!(benches);

@@ -5,6 +5,10 @@
 
 use std::collections::HashMap;
 
+/// Value keys every experiment binary accepts without listing them:
+/// `--threads N` sets the intra-worker thread budget (0 = auto).
+const UNIVERSAL_VALUE_KEYS: [&str; 1] = ["threads"];
+
 /// Parsed command-line arguments.
 #[derive(Debug, Clone)]
 pub struct Args {
@@ -33,7 +37,7 @@ impl Args {
             let key = arg
                 .strip_prefix("--")
                 .unwrap_or_else(|| panic!("expected --key, got '{arg}'"));
-            if value_keys.contains(&key) {
+            if value_keys.contains(&key) || UNIVERSAL_VALUE_KEYS.contains(&key) {
                 let value = iter
                     .next()
                     .unwrap_or_else(|| panic!("flag --{key} requires a value"));
@@ -42,8 +46,8 @@ impl Args {
                 flags.push(key.to_string());
             } else {
                 panic!(
-                    "unknown flag --{key}; known: {:?} {:?}",
-                    value_keys, flag_keys
+                    "unknown flag --{key}; known: {:?} {:?} {:?}",
+                    value_keys, UNIVERSAL_VALUE_KEYS, flag_keys
                 );
             }
         }
@@ -70,6 +74,11 @@ impl Args {
     pub fn has(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+
+    /// The `--threads` budget every binary accepts (0 = auto).
+    pub fn threads(&self) -> usize {
+        self.get_or("threads", 0)
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +101,13 @@ mod tests {
         assert!(!args.has("other"));
         assert_eq!(args.get("missing"), None);
         assert_eq!(args.get_or("missing", 7usize), 7);
+    }
+
+    #[test]
+    fn threads_key_is_universal() {
+        let args = Args::parse_from(strs(&["--threads", "4"]), &[], &[]);
+        assert_eq!(args.threads(), 4);
+        assert_eq!(Args::parse_from(strs(&[]), &[], &[]).threads(), 0);
     }
 
     #[test]

@@ -29,7 +29,12 @@ fn main() {
     let n = ((20_000.0 / scale) as usize).max(2_000);
 
     let mut w = ExperimentWriter::new("ablations");
-    let cfg = TrainConfig::builder().n_trees(trees).n_layers(8).build().unwrap();
+    let cfg = TrainConfig::builder()
+        .n_trees(trees)
+        .n_layers(8)
+        .threads(args.threads())
+        .build()
+        .unwrap();
 
     // --- 1. Histogram subtraction ---
     w.section("histogram subtraction on/off (QD4)");

@@ -47,7 +47,7 @@ fn dataset(p: &Point, seed: u64) -> gbdt_data::Dataset {
     .generate()
 }
 
-fn config(p: &Point, trees: usize) -> TrainConfig {
+fn config(p: &Point, trees: usize, threads: usize) -> TrainConfig {
     let objective = if p.c > 2 {
         Objective::Softmax { n_classes: p.c }
     } else {
@@ -57,6 +57,7 @@ fn config(p: &Point, trees: usize) -> TrainConfig {
         .n_trees(trees)
         .n_layers(p.l)
         .objective(objective)
+        .threads(threads)
         .build()
         .expect("valid fig10 config")
 }
@@ -67,11 +68,12 @@ fn run_point(
     p: &Point,
     workers: usize,
     trees: usize,
+    threads: usize,
     label: (&str, usize),
 ) {
     let ds = dataset(p, 100 + label.1 as u64);
     let cluster = Cluster::new(workers);
-    let result = system.run(&cluster, &ds, &config(p, trees));
+    let result = system.run(&cluster, &ds, &config(p, trees, threads));
     w.row(json!({
         "system": system.name(),
         label.0: label.1,
@@ -81,6 +83,7 @@ fn run_point(
         "bytes_sent": result.stats.total_bytes_sent(),
         "data_mb": result.stats.max_data_bytes() as f64 / 1e6,
         "hist_mb": result.stats.max_histogram_bytes() as f64 / 1e6,
+        "par_speedup": result.stats.parallel_speedup(),
     }));
 }
 
@@ -89,6 +92,7 @@ fn main() {
     let scale = args.get_or("scale", 1.0f64);
     let workers = args.get_or("workers", 8usize);
     let trees = args.get_or("trees", 3usize);
+    let threads = args.threads();
     let which = args.get("plot").map(str::to_string);
     let want = |p: &str| which.as_deref().is_none_or(|w| w == p);
     let sc = |n: usize| ((n as f64 / (500.0 * scale)) as usize).max(1000);
@@ -102,64 +106,64 @@ fn main() {
         w.section("(a) impact of instance number: D=100, C=2, L=8");
         for n in [5_000_000usize, 10_000_000, 15_000_000, 20_000_000] {
             let p = Point { n: sc(n), d: 100, c: 2, l: 8 };
-            run_point(&mut w, horizontal, &p, workers, trees, ("N", p.n));
-            run_point(&mut w, vertical, &p, workers, trees, ("N", p.n));
+            run_point(&mut w, horizontal, &p, workers, trees, threads, ("N", p.n));
+            run_point(&mut w, vertical, &p, workers, trees, threads, ("N", p.n));
         }
     }
     if want("b") {
         w.section("(b) impact of dimensionality: N=50M/scale, C=2, L=8");
         for d in [1_250usize, 2_500, 3_750, 5_000] {
             let p = Point { n: sc(50_000_000) / 2, d, c: 2, l: 8 };
-            run_point(&mut w, horizontal, &p, workers, trees, ("D", d));
-            run_point(&mut w, vertical, &p, workers, trees, ("D", d));
+            run_point(&mut w, horizontal, &p, workers, trees, threads, ("D", d));
+            run_point(&mut w, vertical, &p, workers, trees, threads, ("D", d));
         }
     }
     if want("c") {
         w.section("(c) impact of tree depth: N=50M/scale, D=5000, C=2");
         for l in [8usize, 9, 10] {
             let p = Point { n: sc(50_000_000) / 2, d: 5_000, c: 2, l };
-            run_point(&mut w, horizontal, &p, workers, trees.min(2), ("L", l));
-            run_point(&mut w, vertical, &p, workers, trees.min(2), ("L", l));
+            run_point(&mut w, horizontal, &p, workers, trees.min(2), threads, ("L", l));
+            run_point(&mut w, vertical, &p, workers, trees.min(2), threads, ("L", l));
         }
     }
     if want("d") {
         w.section("(d) impact of multi-classes: N=50M/scale, D=1250, L=8");
         for c in [3usize, 5, 10] {
             let p = Point { n: sc(50_000_000) / 2, d: 1_250, c, l: 8 };
-            run_point(&mut w, horizontal, &p, workers, trees, ("C", c));
-            run_point(&mut w, vertical, &p, workers, trees, ("C", c));
+            run_point(&mut w, horizontal, &p, workers, trees, threads, ("C", c));
+            run_point(&mut w, vertical, &p, workers, trees, threads, ("C", c));
         }
     }
     if want("e") {
         w.section("(e) memory breakdown vs D: N=50M/scale, C=2, L=8");
         for d in [1_250usize, 2_500, 3_750, 5_000] {
             let p = Point { n: sc(50_000_000) / 2, d, c: 2, l: 8 };
-            run_point(&mut w, horizontal, &p, workers, 2, ("D", d));
-            run_point(&mut w, vertical, &p, workers, 2, ("D", d));
+            run_point(&mut w, horizontal, &p, workers, 2, threads, ("D", d));
+            run_point(&mut w, vertical, &p, workers, 2, threads, ("D", d));
         }
     }
     if want("f") {
         w.section("(f) memory breakdown vs C: N=50M/scale, D=1250, L=8");
         for c in [3usize, 5, 10] {
             let p = Point { n: sc(50_000_000) / 2, d: 1_250, c, l: 8 };
-            run_point(&mut w, horizontal, &p, workers, 2, ("C", c));
-            run_point(&mut w, vertical, &p, workers, 2, ("C", c));
+            run_point(&mut w, horizontal, &p, workers, 2, threads, ("C", c));
+            run_point(&mut w, vertical, &p, workers, 2, threads, ("C", c));
         }
     }
     if want("g") {
         w.section("(g) QD3 vs QD4, few instances: N=10K, C=2, L=8");
         for d in [1_250usize, 2_500, 3_750, 5_000] {
             let p = Point { n: 10_000, d, c: 2, l: 8 };
-            run_point(&mut w, vertical_col, &p, workers, trees, ("D", d));
-            run_point(&mut w, vertical, &p, workers, trees, ("D", d));
+            run_point(&mut w, vertical_col, &p, workers, trees, threads, ("D", d));
+            run_point(&mut w, vertical, &p, workers, trees, threads, ("D", d));
         }
     }
     if want("h") {
         w.section("(h) QD3 vs QD4 vs instance number: D=5000, C=2, L=8");
         for n in [10_000_000usize, 20_000_000, 30_000_000, 40_000_000] {
             let p = Point { n: sc(n), d: 5_000, c: 2, l: 8 };
-            run_point(&mut w, vertical_col, &p, workers, trees, ("N", p.n));
-            run_point(&mut w, vertical, &p, workers, trees, ("N", p.n));
+            run_point(&mut w, vertical_col, &p, workers, trees, threads, ("N", p.n));
+            run_point(&mut w, vertical, &p, workers, trees, threads, ("N", p.n));
         }
     }
 
@@ -180,8 +184,8 @@ fn main() {
         for (tag, p) in probes {
             let ds = dataset(&p, 7);
             let cluster = Cluster::new(workers);
-            let qd2 = System::Qd2AllReduce.run(&cluster, &ds, &config(&p, 2));
-            let qd4 = System::Vero.run(&cluster, &ds, &config(&p, 2));
+            let qd2 = System::Qd2AllReduce.run(&cluster, &ds, &config(&p, 2, threads));
+            let qd4 = System::Vero.run(&cluster, &ds, &config(&p, 2, threads));
             let winner = if qd4.mean_tree_seconds() < qd2.mean_tree_seconds() {
                 "QD4 (vertical+row)"
             } else {

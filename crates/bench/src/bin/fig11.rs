@@ -66,7 +66,8 @@ fn main() {
         let (train, valid) = full.split_validation(0.2);
         let workers = datasets::default_workers(name);
         let multiclass = full.n_classes > 2;
-        let cfg = config_for(&train, trees, layers);
+        let mut cfg = config_for(&train, trees, layers);
+        cfg.threads = args.threads();
 
         w.section(&format!(
             "{name}: N={} D={} C={} W={workers} T={trees} L={layers}",

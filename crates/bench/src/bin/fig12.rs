@@ -40,7 +40,8 @@ fn main() {
         let full = datasets::load(name, scale, seed);
         let (train, valid) = full.split_validation(0.2);
         let workers = datasets::default_workers(name);
-        let cfg = config_for(&train, trees, layers);
+        let mut cfg = config_for(&train, trees, layers);
+        cfg.threads = args.threads();
 
         w.section(&format!(
             "{name}: N={} D={} C={} W={workers} (10 Gbps links, paper §6)",

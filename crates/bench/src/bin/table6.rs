@@ -22,7 +22,12 @@ fn main() {
     let seed = args.get_or("seed", 66u64);
 
     let mut w = ExperimentWriter::new("table6");
-    let cfg = TrainConfig::builder().n_trees(trees).n_layers(8).build().unwrap();
+    let cfg = TrainConfig::builder()
+        .n_trees(trees)
+        .n_layers(8)
+        .threads(args.threads())
+        .build()
+        .unwrap();
 
     // Paper subsets, scaled like the synthesis preset (N/2000, D/40),
     // keeping ~100 nonzeros per row.

@@ -24,7 +24,12 @@ fn main() {
 
     for name in ["epsilon", "susy", "higgs"] {
         let ds = datasets::load(name, scale, seed);
-        let cfg = TrainConfig::builder().n_trees(trees).n_layers(8).build().unwrap();
+        let cfg = TrainConfig::builder()
+            .n_trees(trees)
+            .n_layers(8)
+            .threads(args.threads())
+            .build()
+            .unwrap();
         let cluster = Cluster::new(5);
         let mut row = serde_json::Map::new();
         row.insert("dataset".into(), json!(name));

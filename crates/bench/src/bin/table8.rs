@@ -34,6 +34,7 @@ fn main() {
             .n_trees(trees)
             .n_layers(8)
             .objective(objective)
+            .threads(args.threads())
             .build()
             .unwrap();
         let cluster = Cluster::new(workers);

@@ -112,7 +112,7 @@ mod tests {
     #[test]
     fn render_formats_numbers() {
         assert_eq!(render(&json!(3)), "3");
-        assert_eq!(render(&json!(3.14159)), "3.1416");
+        assert_eq!(render(&json!(1.23456)), "1.2346");
         assert_eq!(render(&json!(12345.6)), "12345.6");
         assert_eq!(render(&json!("x")), "x");
     }

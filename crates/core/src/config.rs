@@ -28,6 +28,10 @@ pub struct TrainConfig {
     pub min_node_instances: usize,
     /// The training objective.
     pub objective: Objective,
+    /// Intra-worker threads for histogram build and split finding; 0 = auto
+    /// (`available_parallelism() / W`, clamped to ≥ 1). Results are
+    /// bit-identical for every value — see [`crate::parallel`].
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -42,6 +46,7 @@ impl Default for TrainConfig {
             min_child_weight: 1e-3,
             min_node_instances: 2,
             objective: Objective::Logistic,
+            threads: 0,
         }
     }
 }
@@ -142,6 +147,13 @@ impl TrainConfigBuilder {
         self
     }
 
+    /// Sets the intra-worker thread budget (0 = auto; results are
+    /// bit-identical for every value).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
     /// Finalizes, validating all parameters.
     pub fn build(self) -> Result<TrainConfig, String> {
         self.cfg.validate()?;
@@ -172,11 +184,18 @@ mod tests {
             .lambda(2.0)
             .gamma(0.5)
             .objective(Objective::Softmax { n_classes: 7 })
+            .threads(4)
             .build()
             .unwrap();
         assert_eq!(cfg.n_trees, 5);
         assert_eq!(cfg.n_outputs(), 7);
         assert_eq!(cfg.gamma, 0.5);
+        assert_eq!(cfg.threads, 4);
+    }
+
+    #[test]
+    fn default_thread_budget_is_auto() {
+        assert_eq!(TrainConfig::default().threads, 0);
     }
 
     #[test]

@@ -143,6 +143,14 @@ impl NodeHistogram {
         }
     }
 
+    /// `f64` elements covering one feature (`n_bins × n_outputs × 2`) — the
+    /// stride between consecutive features in the flat buffer, used to carve
+    /// the buffer into disjoint per-feature regions for parallel fills.
+    #[inline]
+    pub fn feature_stride(&self) -> usize {
+        self.n_bins * self.n_outputs * 2
+    }
+
     /// The raw flat buffer (for wire transfer and reduce-scatter slicing).
     pub fn as_slice(&self) -> &[f64] {
         &self.data
@@ -170,13 +178,17 @@ impl NodeHistogram {
     }
 
     /// Exact wire encoding: 12-byte header + LE f64 payload.
+    ///
+    /// The buffer is sized once up front and filled through fixed 8-byte
+    /// windows — one bulk pass without per-element growth checks, which
+    /// matters because aggregation serializes whole `Sizehist` buffers.
     pub fn encode_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(12 + self.data.len() * 8);
-        out.extend_from_slice(&(self.n_features as u32).to_le_bytes());
-        out.extend_from_slice(&(self.n_bins as u32).to_le_bytes());
-        out.extend_from_slice(&(self.n_outputs as u32).to_le_bytes());
-        for v in &self.data {
-            out.extend_from_slice(&v.to_le_bytes());
+        let mut out = vec![0u8; 12 + self.data.len() * 8];
+        out[0..4].copy_from_slice(&(self.n_features as u32).to_le_bytes());
+        out[4..8].copy_from_slice(&(self.n_bins as u32).to_le_bytes());
+        out[8..12].copy_from_slice(&(self.n_outputs as u32).to_le_bytes());
+        for (dst, v) in out[12..].chunks_exact_mut(8).zip(&self.data) {
+            dst.copy_from_slice(&v.to_le_bytes());
         }
         out
     }
@@ -190,14 +202,34 @@ impl NodeHistogram {
         let q = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
         let c = u32::from_le_bytes(bytes[8..12].try_into().ok()?) as usize;
         let payload = &bytes[12..];
-        if payload.len() != f * q * c * 2 * 8 {
+        let expect = f.checked_mul(q)?.checked_mul(c)?.checked_mul(16)?;
+        if payload.len() != expect {
             return None;
         }
-        let data = payload
-            .chunks_exact(8)
-            .map(|ch| f64::from_le_bytes(ch.try_into().unwrap()))
-            .collect();
+        let mut data = Vec::with_capacity(payload.len() / 8);
+        data.extend(
+            payload.chunks_exact(8).map(|ch| f64::from_le_bytes(ch.try_into().unwrap())),
+        );
         Some(NodeHistogram { n_features: f, n_bins: q, n_outputs: c, data })
+    }
+}
+
+/// Accumulates one instance's per-class gradient pairs into a single
+/// feature's region of a histogram buffer (layout `[bin][class][g,h]`), as
+/// handed out by feature-parallel fills.
+#[inline]
+pub fn add_instance_to_feature_slice(
+    slice: &mut [f64],
+    n_outputs: usize,
+    bin: BinId,
+    grads: &[f64],
+    hesses: &[f64],
+) {
+    let k = bin as usize * n_outputs * 2;
+    let slot = &mut slice[k..k + n_outputs * 2];
+    for c in 0..n_outputs {
+        slot[c * 2] += grads[c];
+        slot[c * 2 + 1] += hesses[c];
     }
 }
 
@@ -279,6 +311,26 @@ impl HistogramPool {
         let built_hist = self.live.get(&built).expect("built child histogram must be live");
         parent_hist.subtract_from(built_hist);
         self.live.insert(sibling, parent_hist);
+    }
+
+    /// Takes a zeroed scratch histogram from the free list (allocating if
+    /// empty) for use as a per-thread partial in parallel builds. Scratch
+    /// buffers are transient and do **not** count toward the live/peak
+    /// accounting, which tracks only per-node histograms as §3.1.2 defines.
+    pub fn take_scratch(&mut self) -> NodeHistogram {
+        match self.free.pop() {
+            Some(mut h) => {
+                h.zero();
+                h
+            }
+            None => NodeHistogram::new(self.n_features, self.n_bins, self.n_outputs),
+        }
+    }
+
+    /// Returns a scratch histogram to the free list for reuse.
+    pub fn return_scratch(&mut self, hist: NodeHistogram) {
+        debug_assert_eq!(hist.n_features, self.n_features, "scratch shape mismatch");
+        self.free.push(hist);
     }
 
     /// Releases the histogram of `node` back to the free list.
@@ -427,5 +479,40 @@ mod tests {
         let mut pool = HistogramPool::new(1, 2, 1);
         pool.acquire(0);
         pool.acquire(0);
+    }
+
+    #[test]
+    fn scratch_buffers_recycle_without_accounting() {
+        let mut pool = HistogramPool::new(2, 3, 1);
+        let mut s = pool.take_scratch();
+        s.add(0, 0, 0, 1.0, 1.0);
+        assert_eq!(pool.current_bytes(), 0);
+        pool.return_scratch(s);
+        // Reuse zeroes the buffer.
+        let s2 = pool.take_scratch();
+        assert_eq!(s2.get(0, 0, 0), GradPair::default());
+        assert_eq!(pool.peak_bytes(), 0);
+    }
+
+    #[test]
+    fn feature_slice_accumulate_matches_add_instance() {
+        let mut direct = NodeHistogram::new(3, 4, 2);
+        direct.add_instance(1, 2, &[0.5, -0.25], &[1.0, 2.0]);
+        let mut sliced = NodeHistogram::new(3, 4, 2);
+        let stride = sliced.feature_stride();
+        let slice = &mut sliced.as_mut_slice()[stride..2 * stride];
+        add_instance_to_feature_slice(slice, 2, 2, &[0.5, -0.25], &[1.0, 2.0]);
+        assert_eq!(direct.as_slice(), sliced.as_slice());
+    }
+
+    #[test]
+    fn wire_roundtrip_empty_and_multiclass() {
+        let empty = NodeHistogram::new(0, 20, 3);
+        assert_eq!(NodeHistogram::decode_bytes(&empty.encode_bytes()).unwrap(), empty);
+        let mut multi = NodeHistogram::new(2, 3, 5);
+        multi.add_instance(1, 0, &[0.1, 0.2, 0.3, 0.4, 0.5], &[1.0; 5]);
+        let bytes = multi.encode_bytes();
+        assert_eq!(bytes.len(), 12 + 2 * 3 * 5 * 2 * 8);
+        assert_eq!(NodeHistogram::decode_bytes(&bytes).unwrap(), multi);
     }
 }

@@ -19,6 +19,8 @@
 //! * [`tree`] / [`model`] — the decision tree and boosted ensemble.
 //! * [`indexes`] — the three tree-node/instance index structures of §3.2.1.
 //! * [`metrics`] — AUC, accuracy, RMSE, log-loss.
+//! * [`parallel`] — deterministic intra-worker multi-core execution
+//!   (chunked histogram map-reduce, feature-fanned split finding).
 
 pub mod binning;
 pub mod config;
@@ -28,6 +30,7 @@ pub mod indexes;
 pub mod loss;
 pub mod metrics;
 pub mod model;
+pub mod parallel;
 pub mod sketch;
 pub mod split;
 pub mod tree;
@@ -38,6 +41,7 @@ pub use gradients::{GradBuffer, GradPair};
 pub use histogram::NodeHistogram;
 pub use loss::Objective;
 pub use model::GbdtModel;
+pub use parallel::Parallelism;
 pub use sketch::QuantileSketch;
 pub use split::{NodeStats, Split, SplitParams};
 pub use tree::{NodeKind, Tree, TreeNode};

@@ -344,7 +344,7 @@ mod tests {
 
     #[test]
     fn constant_feature_yields_single_cut() {
-        let s = filled(std::iter::repeat(4.2).take(100));
+        let s = filled(std::iter::repeat_n(4.2, 100));
         let cuts = s.candidate_splits(20);
         assert_eq!(cuts, vec![4.2]);
     }

@@ -152,18 +152,38 @@ pub struct Split {
 }
 
 impl Split {
-    /// Deterministic preference order: larger gain wins; exact ties break
-    /// toward the smaller feature id, then the smaller bin. Every trainer
-    /// uses this single comparison, which is what makes all quadrants grow
-    /// identical trees on identical histograms.
+    /// Tolerance below which two gains are considered tied. Quadrants sum
+    /// the same per-instance gradients in different orders (horizontal
+    /// trainers reduce per-worker partials, vertical trainers sum whole
+    /// columns), so mathematically equal gains — e.g. two correlated
+    /// features inducing the identical partition — can differ by a few ulps
+    /// (observed ≲1e-13 relative). Treating near-equal gains as ties and
+    /// resolving them by the (feature, bin, default) key keeps every
+    /// trainer's choice identical despite that rounding noise; genuinely
+    /// distinct candidates differ by far more than this.
+    const GAIN_TIE_REL: f64 = 1e-9;
+    const GAIN_TIE_ABS: f64 = 1e-12;
+
+    fn gain_ties(&self, other: &Split) -> bool {
+        let tol = Self::GAIN_TIE_ABS + Self::GAIN_TIE_REL * self.gain.abs().max(other.gain.abs());
+        (self.gain - other.gain).abs() <= tol
+    }
+
+    /// Deterministic preference order: larger gain wins; (near-)ties break
+    /// toward the smaller feature id, then the smaller bin, then default
+    /// left. Every trainer uses this single comparison, which is what makes
+    /// all quadrants grow identical trees on equivalent histograms.
     pub fn better_than(&self, other: &Split) -> bool {
-        if self.gain != other.gain {
+        if !self.gain_ties(other) {
             return self.gain > other.gain;
         }
         if self.feature != other.feature {
             return self.feature < other.feature;
         }
-        self.bin < other.bin
+        if self.bin != other.bin {
+            return self.bin < other.bin;
+        }
+        self.default_left && !other.default_left
     }
 
     /// Exact wire encoding for best-split exchange.
@@ -300,6 +320,63 @@ pub fn best_split_in_range(
         }
     }
     best
+}
+
+/// Parallel [`best_split_in_range`]: the per-feature scans fan out across
+/// `threads`, each feature's candidate lands in a feature-indexed slot, and
+/// the slots are reduced sequentially in ascending feature order with
+/// [`Split::better_than`]. The reduction therefore folds the same
+/// candidates in the same order as the sequential scan, making the chosen
+/// split bit-identical for every thread count.
+pub fn best_split_in_range_parallel(
+    hist: &NodeHistogram,
+    range: std::ops::Range<FeatureId>,
+    node: &NodeStats,
+    params: &SplitParams,
+    n_bins_of: impl Fn(FeatureId) -> usize + Sync,
+    feature_map: impl Fn(FeatureId) -> FeatureId + Sync,
+    threads: usize,
+) -> Option<Split> {
+    let len = range.len();
+    if threads <= 1 || len < crate::parallel::MIN_PARALLEL_FEATURES {
+        return best_split_in_range(hist, range, node, params, n_bins_of, feature_map);
+    }
+    let start = range.start;
+    let mut slots: Vec<Option<Split>> = vec![None; len];
+    crate::parallel::par_map_slots(&mut slots, threads, |k, slot| {
+        let f = start + k as FeatureId;
+        *slot = best_split_for_feature(hist, f, n_bins_of(f), node, params).map(|mut s| {
+            s.feature = feature_map(f);
+            s
+        });
+    });
+    let mut best: Option<Split> = None;
+    for s in slots.into_iter().flatten() {
+        if best.as_ref().is_none_or(|cur| s.better_than(cur)) {
+            best = Some(s);
+        }
+    }
+    best
+}
+
+/// Parallel [`best_split`] over all features of a histogram.
+pub fn best_split_parallel(
+    hist: &NodeHistogram,
+    node: &NodeStats,
+    params: &SplitParams,
+    n_bins_of: impl Fn(FeatureId) -> usize + Sync,
+    feature_map: impl Fn(FeatureId) -> FeatureId + Sync,
+    threads: usize,
+) -> Option<Split> {
+    best_split_in_range_parallel(
+        hist,
+        0..hist.n_features() as FeatureId,
+        node,
+        params,
+        n_bins_of,
+        feature_map,
+        threads,
+    )
 }
 
 #[cfg(test)]
@@ -446,6 +523,39 @@ mod tests {
         let s = best_split_for_feature(&hist, 0, 2, &node, &params()).unwrap();
         // Per class: 0.5*(1/2 + 1/2) = 0.5; two classes -> 1.0.
         assert!((s.gain - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_split_matches_sequential_exactly() {
+        // Enough features to clear MIN_PARALLEL_FEATURES so the fan-out
+        // path actually engages.
+        let d = crate::parallel::MIN_PARALLEL_FEATURES + 9;
+        let q = 6;
+        let mut hist = NodeHistogram::new(d, q, 1);
+        let mut node = NodeStats::zero(1);
+        for f in 0..d as u32 {
+            for b in 0..q as u16 {
+                let g = ((f as f64 * 31.0 + b as f64 * 7.0).sin()) * 0.5;
+                hist.add(f, b, 0, g, 1.0);
+            }
+        }
+        // Node totals = sums over feature 0 (every feature sees all mass).
+        let t = hist.feature_totals(0);
+        node.grads[0] = t.grads[0];
+        node.hesses[0] = t.hesses[0];
+        let p = params();
+        let seq = best_split(&hist, &node, &p, |_| q, |f| f);
+        for threads in [1usize, 2, 4, 8] {
+            let par = best_split_parallel(&hist, &node, &p, |_| q, |f| f, threads);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        // Subrange variant too.
+        let lo = 10u32;
+        let hi = d as u32 - 3;
+        let seq = best_split_in_range(&hist, lo..hi, &node, &p, |_| q, |f| f + 1000);
+        let par =
+            best_split_in_range_parallel(&hist, lo..hi, &node, &p, |_| q, |f| f + 1000, 4);
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -36,7 +36,7 @@ fn brute_force_best_gain(
                 continue;
             }
             let gain = 0.5 * (score(gl, hl) + score(gr, hr) - score(gt, ht)) - params.gamma;
-            if gain > 0.0 && best.map_or(true, |cur| gain > cur) {
+            if gain > 0.0 && best.is_none_or(|cur| gain > cur) {
                 best = Some(gain);
             }
         }
@@ -111,6 +111,34 @@ proptest! {
                 prop_assert!((d.grad - r.grad).abs() < 1e-9);
                 prop_assert!((d.hess - r.hess).abs() < 1e-9);
             }
+        }
+    }
+
+    /// The histogram wire codec must round-trip every shape bit-exactly,
+    /// including empty histograms and multi-class (C > 1) strides.
+    #[test]
+    fn histogram_codec_round_trips(
+        d in 0usize..6,
+        q in 1usize..8,
+        c in 1usize..4,
+        entries in prop::collection::vec(
+            (0u32..6, 0u16..8, 0usize..4, -10.0f64..10.0, 0.0f64..10.0),
+            0..80,
+        ),
+    ) {
+        let mut hist = NodeHistogram::new(d, q, c);
+        for &(f, b, k, g, h) in &entries {
+            if (f as usize) < d && (b as usize) < q && k < c {
+                hist.add(f, b, k, g, h);
+            }
+        }
+        let bytes = hist.encode_bytes();
+        prop_assert_eq!(bytes.len(), 12 + d * q * c * 2 * 8);
+        let decoded = NodeHistogram::decode_bytes(&bytes);
+        prop_assert_eq!(decoded.as_ref(), Some(&hist), "decode(encode(h)) != h");
+        // Truncated payloads must be rejected, never mis-decoded.
+        if !bytes.is_empty() {
+            prop_assert_eq!(NodeHistogram::decode_bytes(&bytes[..bytes.len() - 1]), None);
         }
     }
 

@@ -20,7 +20,7 @@
 use crate::block::Block;
 use crate::error::DataError;
 use crate::{BinId, FeatureId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 
 /// Bytes of one naïvely encoded 〈feature index, feature value〉 pair.
 pub const NAIVE_PAIR_BYTES: usize = 12;
@@ -37,56 +37,130 @@ pub fn compressed_pair_bytes(p: usize, q: usize) -> usize {
     bytes_for_cardinality(p) + bytes_for_cardinality(q)
 }
 
-fn put_uint(buf: &mut BytesMut, value: u64, width: usize) {
-    buf.put_uint(value, width);
+/// Writes `value` big-endian into the `dst.len()`-byte slot (the wire
+/// format stays big-endian, matching the original `put_uint` framing).
+#[inline]
+fn put_be(dst: &mut [u8], value: u64) {
+    let w = dst.len();
+    dst.copy_from_slice(&value.to_be_bytes()[8 - w..]);
 }
 
-fn get_uint(buf: &mut Bytes, width: usize) -> u64 {
-    buf.get_uint(width)
+/// Reads a big-endian unsigned integer of `src.len()` bytes.
+#[inline]
+fn get_be(src: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf[8 - src.len()..].copy_from_slice(src);
+    u64::from_be_bytes(buf)
+}
+
+/// Stages a `u32` array into `out` at the given element width with bulk
+/// chunked copies — width-specialized for the common 1- and 2-byte cases so
+/// the hot repartition loop compiles to straight stores instead of
+/// per-element variable-width framing.
+fn put_u32s(out: &mut [u8], values: &[u32], width: usize) {
+    debug_assert_eq!(out.len(), values.len() * width);
+    match width {
+        1 => {
+            for (dst, &v) in out.iter_mut().zip(values) {
+                *dst = v as u8;
+            }
+        }
+        2 => {
+            for (dst, &v) in out.chunks_exact_mut(2).zip(values) {
+                dst.copy_from_slice(&(v as u16).to_be_bytes());
+            }
+        }
+        4 => {
+            for (dst, &v) in out.chunks_exact_mut(4).zip(values) {
+                dst.copy_from_slice(&v.to_be_bytes());
+            }
+        }
+        _ => {
+            for (dst, &v) in out.chunks_exact_mut(width).zip(values) {
+                put_be(dst, u64::from(v));
+            }
+        }
+    }
+}
+
+/// Reads a `u32` array encoded at the given element width.
+fn get_u32s(src: &[u8], width: usize) -> Vec<u32> {
+    debug_assert!(src.len().is_multiple_of(width));
+    match width {
+        1 => src.iter().map(|&b| u32::from(b)).collect(),
+        2 => src
+            .chunks_exact(2)
+            .map(|c| u32::from(u16::from_be_bytes([c[0], c[1]])))
+            .collect(),
+        4 => src
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+            .collect(),
+        _ => src.chunks_exact(width).map(|c| get_be(c) as u32).collect(),
+    }
 }
 
 /// Encodes pairs in the naïve 12-byte format (for the Table 5 baseline).
 pub fn encode_naive(pairs: &[(FeatureId, f64)]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(pairs.len() * NAIVE_PAIR_BYTES);
-    for &(f, v) in pairs {
-        buf.put_u32(f);
-        buf.put_f64(v);
+    let mut out = vec![0u8; pairs.len() * NAIVE_PAIR_BYTES];
+    for (dst, &(f, v)) in out.chunks_exact_mut(NAIVE_PAIR_BYTES).zip(pairs) {
+        dst[0..4].copy_from_slice(&f.to_be_bytes());
+        dst[4..12].copy_from_slice(&v.to_be_bytes());
     }
-    buf.freeze()
+    Bytes::from(out)
 }
 
 /// Decodes the naïve format.
-pub fn decode_naive(mut bytes: Bytes) -> Result<Vec<(FeatureId, f64)>, DataError> {
+pub fn decode_naive(bytes: Bytes) -> Result<Vec<(FeatureId, f64)>, DataError> {
     if !bytes.len().is_multiple_of(NAIVE_PAIR_BYTES) {
         return Err(DataError::Shape(format!(
             "naive buffer len {} not a multiple of {NAIVE_PAIR_BYTES}",
             bytes.len()
         )));
     }
-    let mut out = Vec::with_capacity(bytes.len() / NAIVE_PAIR_BYTES);
-    while bytes.has_remaining() {
-        let f = bytes.get_u32();
-        let v = bytes.get_f64();
-        out.push((f, v));
-    }
-    Ok(out)
+    Ok(bytes
+        .chunks_exact(NAIVE_PAIR_BYTES)
+        .map(|c| {
+            let f = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+            let v = f64::from_be_bytes(c[4..12].try_into().expect("12-byte chunk"));
+            (f, v)
+        })
+        .collect())
 }
 
 /// Encodes compressed 〈group-local feature id, bin index〉 pairs.
 pub fn encode_compressed(pairs: &[(FeatureId, BinId)], p: usize, q: usize) -> Bytes {
     let fw = bytes_for_cardinality(p);
     let bw = bytes_for_cardinality(q);
-    let mut buf = BytesMut::with_capacity(pairs.len() * (fw + bw));
-    for &(f, b) in pairs {
-        put_uint(&mut buf, u64::from(f), fw);
-        put_uint(&mut buf, u64::from(b), bw);
+    let mut out = vec![0u8; pairs.len() * (fw + bw)];
+    match (fw, bw) {
+        // The §5.1 workloads land here (p ≤ 65536, q ≤ 256): fixed-shape
+        // stores the optimizer unrolls.
+        (1, 1) => {
+            for (dst, &(f, b)) in out.chunks_exact_mut(2).zip(pairs) {
+                dst[0] = f as u8;
+                dst[1] = b as u8;
+            }
+        }
+        (2, 1) => {
+            for (dst, &(f, b)) in out.chunks_exact_mut(3).zip(pairs) {
+                dst[0..2].copy_from_slice(&(f as u16).to_be_bytes());
+                dst[2] = b as u8;
+            }
+        }
+        _ => {
+            for (dst, &(f, b)) in out.chunks_exact_mut(fw + bw).zip(pairs) {
+                put_be(&mut dst[..fw], u64::from(f));
+                put_be(&mut dst[fw..], u64::from(b));
+            }
+        }
     }
-    buf.freeze()
+    Bytes::from(out)
 }
 
 /// Decodes the compressed format given the same `p` and `q`.
 pub fn decode_compressed(
-    mut bytes: Bytes,
+    bytes: Bytes,
     p: usize,
     q: usize,
 ) -> Result<Vec<(FeatureId, BinId)>, DataError> {
@@ -99,13 +173,10 @@ pub fn decode_compressed(
             bytes.len()
         )));
     }
-    let mut out = Vec::with_capacity(bytes.len() / pair);
-    while bytes.has_remaining() {
-        let f = get_uint(&mut bytes, fw) as FeatureId;
-        let b = get_uint(&mut bytes, bw) as BinId;
-        out.push((f, b));
-    }
-    Ok(out)
+    Ok(bytes
+        .chunks_exact(pair)
+        .map(|c| (get_be(&c[..fw]) as FeatureId, get_be(&c[fw..]) as BinId))
+        .collect())
 }
 
 /// Encodes a whole [`Block`] in the blockified wire format: a fixed header
@@ -113,55 +184,62 @@ pub fn decode_compressed(
 pub fn encode_block(block: &Block, p: usize, q: usize) -> Bytes {
     let fw = bytes_for_cardinality(p);
     let bw = bytes_for_cardinality(q);
-    let mut buf = BytesMut::with_capacity(
-        24 + block.nnz() * (fw + bw) + (block.n_rows() + 1) * 4,
-    );
-    buf.put_u32(block.file_split_index);
-    buf.put_u32(block.row_offset);
-    buf.put_u32(block.n_rows() as u32);
-    buf.put_u32(block.nnz() as u32);
-    for &f in &block.feats {
-        put_uint(&mut buf, u64::from(f), fw);
+    let nnz = block.nnz();
+    let ptr_start = 16 + nnz * (fw + bw);
+    let mut out = vec![0u8; ptr_start + (block.n_rows() + 1) * 4];
+    out[0..4].copy_from_slice(&block.file_split_index.to_be_bytes());
+    out[4..8].copy_from_slice(&block.row_offset.to_be_bytes());
+    out[8..12].copy_from_slice(&(block.n_rows() as u32).to_be_bytes());
+    out[12..16].copy_from_slice(&(nnz as u32).to_be_bytes());
+    put_u32s(&mut out[16..16 + nnz * fw], &block.feats, fw);
+    {
+        let bins = &mut out[16 + nnz * fw..ptr_start];
+        match bw {
+            1 => {
+                for (dst, &b) in bins.iter_mut().zip(&block.bins) {
+                    *dst = b as u8;
+                }
+            }
+            _ => {
+                for (dst, &b) in bins.chunks_exact_mut(bw).zip(&block.bins) {
+                    put_be(dst, u64::from(b));
+                }
+            }
+        }
     }
-    for &b in &block.bins {
-        put_uint(&mut buf, u64::from(b), bw);
-    }
-    for &ptr in &block.row_ptr {
-        buf.put_u32(ptr);
-    }
-    buf.freeze()
+    put_u32s(&mut out[ptr_start..], &block.row_ptr, 4);
+    Bytes::from(out)
 }
 
 /// Decodes the blockified wire format.
-pub fn decode_block(mut bytes: Bytes, p: usize, q: usize) -> Result<Block, DataError> {
+pub fn decode_block(bytes: Bytes, p: usize, q: usize) -> Result<Block, DataError> {
     let fw = bytes_for_cardinality(p);
     let bw = bytes_for_cardinality(q);
     if bytes.len() < 16 {
         return Err(DataError::Shape("block buffer shorter than header".into()));
     }
-    let file_split_index = bytes.get_u32();
-    let row_offset = bytes.get_u32();
-    let n_rows = bytes.get_u32() as usize;
-    let nnz = bytes.get_u32() as usize;
-    let need = nnz * (fw + bw) + (n_rows + 1) * 4;
-    if bytes.len() != need {
+    let file_split_index = u32::from_be_bytes(bytes[0..4].try_into().expect("header"));
+    let row_offset = u32::from_be_bytes(bytes[4..8].try_into().expect("header"));
+    let n_rows = u32::from_be_bytes(bytes[8..12].try_into().expect("header")) as usize;
+    let nnz = u32::from_be_bytes(bytes[12..16].try_into().expect("header")) as usize;
+    let need = nnz.checked_mul(fw + bw).and_then(|v| v.checked_add((n_rows + 1) * 4));
+    if need != Some(bytes.len() - 16) {
         return Err(DataError::Shape(format!(
-            "block buffer has {} payload bytes, header implies {need}",
-            bytes.len()
+            "block buffer has {} payload bytes, header implies {need:?}",
+            bytes.len() - 16
         )));
     }
-    let mut feats = Vec::with_capacity(nnz);
-    for _ in 0..nnz {
-        feats.push(get_uint(&mut bytes, fw) as FeatureId);
-    }
-    let mut bins = Vec::with_capacity(nnz);
-    for _ in 0..nnz {
-        bins.push(get_uint(&mut bytes, bw) as BinId);
-    }
-    let mut row_ptr = Vec::with_capacity(n_rows + 1);
-    for _ in 0..=n_rows {
-        row_ptr.push(bytes.get_u32());
-    }
+    let feats_end = 16 + nnz * fw;
+    let bins_end = feats_end + nnz * bw;
+    let feats = get_u32s(&bytes[16..feats_end], fw);
+    let bins: Vec<BinId> = match bw {
+        1 => bytes[feats_end..bins_end].iter().map(|&b| BinId::from(b)).collect(),
+        _ => bytes[feats_end..bins_end]
+            .chunks_exact(bw)
+            .map(|c| get_be(c) as BinId)
+            .collect(),
+    };
+    let row_ptr = get_u32s(&bytes[bins_end..], 4);
     Block::new(file_split_index, row_offset, feats, bins, row_ptr)
 }
 

@@ -296,8 +296,8 @@ mod tests {
         let ds = SyntheticConfig { n_instances: 500, ..Default::default() }.generate();
         assert!(ds.labels.iter().all(|&y| y == 0.0 || y == 1.0));
         // Both classes appear (argmax of a random linear model is balanced-ish).
-        assert!(ds.labels.iter().any(|&y| y == 0.0));
-        assert!(ds.labels.iter().any(|&y| y == 1.0));
+        assert!(ds.labels.contains(&0.0));
+        assert!(ds.labels.contains(&1.0));
     }
 
     #[test]

@@ -71,7 +71,7 @@ mod tests {
         // One heavy feature plus many light ones — the situation the paper's
         // load-balance concern describes.
         let mut weights = vec![1_000u64];
-        weights.extend(std::iter::repeat(10).take(99));
+        weights.extend(std::iter::repeat_n(10, 99));
         let greedy = greedy_partition(&weights, 4);
         let greedy_imb = imbalance(&group_loads(&weights, &greedy, 4));
         let rr: Vec<usize> = (0..weights.len()).map(|i| i % 4).collect();

@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn greedy_balances_skewed_weights() {
         let mut weights = vec![10_000u64, 9_000, 8_000];
-        weights.extend(std::iter::repeat(100).take(97));
+        weights.extend(std::iter::repeat_n(100, 97));
         let g = ColumnGrouping::build(GroupingStrategy::GreedyBalanced, 100, 4, &weights);
         check_bijection(&g);
         let assignment: Vec<usize> = (0..100).map(|f| g.group_of(f)).collect();

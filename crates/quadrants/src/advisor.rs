@@ -232,7 +232,7 @@ mod tests {
             n_instances: n,
             n_features: d,
             n_outputs: c,
-            avg_nnz: (d as f64 * 0.2).min(100.0).max(1.0),
+            avg_nnz: (d as f64 * 0.2).clamp(1.0, 100.0),
             n_bins: 20,
             n_layers: l,
         }

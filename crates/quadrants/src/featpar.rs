@@ -9,12 +9,15 @@
 //! traffic) but "impractical for large-scale workloads" because per-worker
 //! memory holds the entire dataset — which our `data_bytes` gauge reports.
 
-use crate::common::{subtraction_plan, DistTrainResult, Frontier, TreeStat, TreeTracker};
+use crate::common::{
+    subtraction_plan, worker_threads, DistTrainResult, Frontier, TreeStat, TreeTracker,
+};
 use crate::qd2::exchange_local_bests;
 use gbdt_cluster::{Cluster, Phase, WorkerCtx};
 use gbdt_core::histogram::HistogramPool;
 use gbdt_core::indexes::NodeToInstanceIndex;
-use gbdt_core::split::{best_split, NodeStats, Split, SplitParams};
+use gbdt_core::parallel::{self, Meter};
+use gbdt_core::split::{best_split_parallel, NodeStats, Split, SplitParams};
 use gbdt_core::tree::{self, Tree};
 use gbdt_core::{BinCuts, GbdtModel, GradBuffer, TrainConfig};
 use gbdt_data::dataset::Dataset;
@@ -53,6 +56,9 @@ fn train_worker(
     let n = dataset.n_instances();
     let params = SplitParams::from_config(config);
     let objective = config.objective;
+    let threads = worker_threads(config, world);
+    let meter = Meter::default();
+    ctx.stats.threads = threads as u64;
 
     // Full local copy: sketch, bin, and group features — all locally.
     let cuts = ctx.time(Phase::Sketch, || BinCuts::from_dataset(dataset, q));
@@ -124,7 +130,7 @@ fn train_worker(
 
             ctx.time(Phase::HistogramBuild, || {
                 if layer == 0 {
-                    build_histogram(&mut pool, 0, &local, &grads, &index);
+                    build_histogram(&mut pool, 0, &local, &grads, &index, threads, &meter);
                 } else {
                     let mut k = 0;
                     while k < frontier.nodes.len() {
@@ -132,7 +138,7 @@ fn train_worker(
                         let (build_left, _) =
                             subtraction_plan(frontier.counts[&l], frontier.counts[&r]);
                         let (b, s) = if build_left { (l, r) } else { (r, l) };
-                        build_histogram(&mut pool, b, &local, &grads, &index);
+                        build_histogram(&mut pool, b, &local, &grads, &index, threads, &meter);
                         pool.subtract_sibling(tree::parent(l), b, s);
                         k += 2;
                     }
@@ -148,12 +154,13 @@ fn train_worker(
                         if frontier.counts[&node] < config.min_node_instances as u64 {
                             return None;
                         }
-                        best_split(
+                        best_split_parallel(
                             pool.get(node).expect("histogram live"),
                             &frontier.stats[&node],
                             &params,
                             |f| cuts.n_bins(to_global(f)),
                             to_global,
+                            threads,
                         )
                     })
                     .collect()
@@ -217,6 +224,8 @@ fn train_worker(
         model.trees.push(tree);
         per_tree.push(tracker.lap(ctx));
     }
+    ctx.stats.parallel_wall_seconds = meter.wall_seconds();
+    ctx.stats.parallel_busy_seconds = meter.busy_seconds();
     (model, per_tree)
 }
 
@@ -226,15 +235,18 @@ fn build_histogram(
     local: &BinnedRows,
     grads: &GradBuffer,
     index: &NodeToInstanceIndex,
+    threads: usize,
+    meter: &Meter,
 ) {
-    let hist = pool.acquire(node);
-    for &i in index.instances(node) {
-        let (g, h) = grads.instance(i as usize);
-        let (feats, bins) = local.row(i as usize);
-        for (&f, &b) in feats.iter().zip(bins) {
-            hist.add_instance(f, b, g, h);
+    parallel::build_histogram_chunked(pool, node, index.instances(node), threads, meter, |hist, chunk| {
+        for &i in chunk {
+            let (g, h) = grads.instance(i as usize);
+            let (feats, bins) = local.row(i as usize);
+            for (&f, &b) in feats.iter().zip(bins) {
+                hist.add_instance(f, b, g, h);
+            }
         }
-    }
+    });
 }
 
 #[cfg(test)]

@@ -11,12 +11,14 @@
 //! split redundantly (the leader-based variant has identical traffic shape).
 
 use crate::common::{
-    all_reduce_stats, shard_dataset, DistTrainResult, Frontier, TreeStat, TreeTracker,
+    all_reduce_stats, shard_dataset, worker_threads, DistTrainResult, Frontier, TreeStat,
+    TreeTracker,
 };
 use gbdt_cluster::{Cluster, Phase, WorkerCtx};
-use gbdt_core::histogram::{histogram_size_bytes, NodeHistogram};
+use gbdt_core::histogram::{add_instance_to_feature_slice, histogram_size_bytes, NodeHistogram};
 use gbdt_core::indexes::InstanceToNodeIndex;
-use gbdt_core::split::{best_split, NodeStats, Split, SplitParams};
+use gbdt_core::parallel::Meter;
+use gbdt_core::split::{best_split_parallel, NodeStats, Split, SplitParams};
 use gbdt_core::tree::{self, Tree};
 use gbdt_core::{GbdtModel, GradBuffer, TrainConfig};
 use gbdt_data::dataset::Dataset;
@@ -55,6 +57,9 @@ fn train_worker(
     let c = config.n_outputs();
     let params = SplitParams::from_config(config);
     let objective = config.objective;
+    let threads = worker_threads(config, ctx.world());
+    let meter = Meter::default();
+    ctx.stats.threads = threads as u64;
 
     let (cuts, _) = build_global_cuts(ctx, shard, q, gbdt_core::QuantileSketch::DEFAULT_CAP);
     let columns: BinnedColumns = ctx.time(Phase::Sketch, || cuts.apply(shard).to_columns());
@@ -124,21 +129,9 @@ fn train_worker(
             }
             hist_peak = hist_peak.max(frontier.nodes.len() * histogram_size_bytes(d, q, c));
             ctx.time(Phase::HistogramBuild, || {
-                for (j, insts, bins) in columns.iter_cols() {
-                    for (&i, &b) in insts.iter().zip(bins) {
-                        let node = index.node_of(i);
-                        if node < layer_base {
-                            continue; // instance settled on an earlier leaf
-                        }
-                        if let Some(hist) = hists
-                            .get_mut((node - layer_base) as usize)
-                            .and_then(Option::as_mut)
-                        {
-                            let (g, h) = grads.instance(i as usize);
-                            hist.add_instance(j as u32, b, g, h);
-                        }
-                    }
-                }
+                build_layer_histograms(
+                    &columns, &grads, &index, &mut hists, layer_base, threads, &meter,
+                );
             });
 
             // All-reduce each node's histogram; every worker then finds the
@@ -158,9 +151,14 @@ fn train_worker(
                         }
                         let hist =
                             hists[(node - layer_base) as usize].as_ref().expect("allocated");
-                        best_split(hist, &frontier.stats[&node], &params, |f| cuts.n_bins(f), |f| {
-                            f
-                        })
+                        best_split_parallel(
+                            hist,
+                            &frontier.stats[&node],
+                            &params,
+                            |f| cuts.n_bins(f),
+                            |f| f,
+                            threads,
+                        )
                     })
                     .collect()
             });
@@ -252,7 +250,114 @@ fn train_worker(
         per_tree.push(tracker.lap(ctx));
     }
     ctx.stats.histogram_peak_bytes = hist_peak as u64;
+    ctx.stats.parallel_wall_seconds = meter.wall_seconds();
+    ctx.stats.parallel_busy_seconds = meter.busy_seconds();
     (model, per_tree)
+}
+
+/// One linear pass over the columns builds the histograms of a WHOLE layer:
+/// every 〈instance, bin〉 pair is routed to its instance's current node.
+///
+/// Threads fan out over disjoint **feature blocks**: thread `b` owns block
+/// `b` of every live node histogram (features are the outermost axis of the
+/// flat layout, so a feature block is one contiguous region per histogram).
+/// Each f64 slot is written by exactly one thread, in the same per-column
+/// pair order as the sequential pass — bit-identical for every thread count.
+fn build_layer_histograms(
+    columns: &BinnedColumns,
+    grads: &GradBuffer,
+    index: &InstanceToNodeIndex,
+    hists: &mut [Option<NodeHistogram>],
+    layer_base: u32,
+    threads: usize,
+    meter: &Meter,
+) {
+    let d = columns.n_features();
+    if threads <= 1 || d < 2 {
+        for (j, insts, bins) in columns.iter_cols() {
+            for (&i, &b) in insts.iter().zip(bins) {
+                let node = index.node_of(i);
+                if node < layer_base {
+                    continue; // instance settled on an earlier leaf
+                }
+                if let Some(hist) =
+                    hists.get_mut((node - layer_base) as usize).and_then(Option::as_mut)
+                {
+                    let (g, h) = grads.instance(i as usize);
+                    hist.add_instance(j as u32, b, g, h);
+                }
+            }
+        }
+        return;
+    }
+
+    let (stride, c) = match hists.iter().flatten().next() {
+        Some(h) => (h.feature_stride(), h.n_outputs()),
+        None => return,
+    };
+    let t = threads.min(d);
+    let per = d.div_ceil(t);
+    let n_blocks = d.div_ceil(per);
+    // thread_blocks[b][slot] is feature block `b` of node slot `slot`.
+    let mut thread_blocks: Vec<Vec<Option<&mut [f64]>>> =
+        (0..n_blocks).map(|_| Vec::with_capacity(hists.len())).collect();
+    for hist in hists.iter_mut() {
+        match hist {
+            Some(h) => {
+                let mut chunks = h.as_mut_slice().chunks_mut(per * stride);
+                for tb in thread_blocks.iter_mut() {
+                    tb.push(chunks.next());
+                }
+            }
+            None => {
+                for tb in thread_blocks.iter_mut() {
+                    tb.push(None);
+                }
+            }
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let busy = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for (bi, mut blocks) in thread_blocks.into_iter().enumerate() {
+            let busy = &busy;
+            s.spawn(move || {
+                let t0 = std::time::Instant::now();
+                let lo = bi * per;
+                let hi = (lo + per).min(d);
+                for j in lo..hi {
+                    let (insts, bins) = columns.col(j);
+                    let off = (j - lo) * stride;
+                    for (&i, &b) in insts.iter().zip(bins) {
+                        let node = index.node_of(i);
+                        if node < layer_base {
+                            continue;
+                        }
+                        let slot = (node - layer_base) as usize;
+                        if let Some(block) = blocks.get_mut(slot).and_then(Option::as_mut) {
+                            let (g, h) = grads.instance(i as usize);
+                            add_instance_to_feature_slice(
+                                &mut block[off..off + stride],
+                                c,
+                                b,
+                                g,
+                                h,
+                            );
+                        }
+                    }
+                }
+                busy.fetch_add(
+                    t0.elapsed().as_nanos() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+            });
+        }
+    });
+    meter.add(
+        start.elapsed(),
+        std::time::Duration::from_nanos(busy.load(std::sync::atomic::Ordering::Relaxed)),
+    );
 }
 
 #[cfg(test)]

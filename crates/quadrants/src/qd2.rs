@@ -15,14 +15,15 @@
 //! server-side split finding).
 
 use crate::common::{
-    all_reduce_stats, choose_global_best, shard_dataset, subtraction_plan, Aggregation,
-    DistTrainResult, Frontier, TreeStat, TreeTracker,
+    all_reduce_stats, choose_global_best, shard_dataset, subtraction_plan, worker_threads,
+    Aggregation, DistTrainResult, Frontier, TreeStat, TreeTracker,
 };
 use gbdt_cluster::collectives::segment_bounds;
 use gbdt_cluster::{Cluster, Phase, WorkerCtx};
 use gbdt_core::histogram::HistogramPool;
 use gbdt_core::indexes::NodeToInstanceIndex;
-use gbdt_core::split::{best_split, best_split_in_range, NodeStats, Split, SplitParams};
+use gbdt_core::parallel::{self, Meter};
+use gbdt_core::split::{best_split_in_range_parallel, best_split_parallel, NodeStats, Split, SplitParams};
 use gbdt_core::tree::{self, Tree};
 use gbdt_core::{GbdtModel, GradBuffer, TrainConfig};
 use gbdt_data::dataset::Dataset;
@@ -66,6 +67,9 @@ fn train_worker(
     let objective = config.objective;
     let world = ctx.world();
     let rank = ctx.rank();
+    let threads = worker_threads(config, world);
+    let meter = Meter::default();
+    ctx.stats.threads = threads as u64;
 
     // Global candidate splits (local sketches merged across the cluster).
     let (cuts, _) = build_global_cuts(ctx, shard, q, gbdt_core::QuantileSketch::DEFAULT_CAP);
@@ -156,7 +160,7 @@ fn train_worker(
             }
             ctx.time(Phase::HistogramBuild, || {
                 for &node in &build_nodes {
-                    build_histogram(&mut pool, node, &binned, &grads, &index);
+                    build_histogram(&mut pool, node, &binned, &grads, &index, threads, &meter);
                 }
             });
 
@@ -194,12 +198,13 @@ fn train_worker(
                             if frontier.counts[&node] < config.min_node_instances as u64 {
                                 return None;
                             }
-                            best_split(
+                            best_split_parallel(
                                 pool.get(node).expect("histogram live"),
                                 &frontier.stats[&node],
                                 &params,
                                 |f| cuts.n_bins(f),
                                 |f| f,
+                                threads,
                             )
                         })
                         .collect()
@@ -214,13 +219,14 @@ fn train_worker(
                                 if frontier.counts[&node] < config.min_node_instances as u64 {
                                     return None;
                                 }
-                                best_split_in_range(
+                                best_split_in_range_parallel(
                                     pool.get(node).expect("histogram live"),
                                     feat_lo as u32..feat_hi as u32,
                                     &frontier.stats[&node],
                                     &params,
                                     |f| cuts.n_bins(f),
                                     |f| f,
+                                    threads,
                                 )
                             })
                             .collect()
@@ -304,6 +310,8 @@ fn train_worker(
         model.trees.push(tree);
         per_tree.push(tracker.lap(ctx));
     }
+    ctx.stats.parallel_wall_seconds = meter.wall_seconds();
+    ctx.stats.parallel_busy_seconds = meter.busy_seconds();
     (model, per_tree)
 }
 
@@ -362,15 +370,18 @@ fn build_histogram(
     binned: &BinnedRows,
     grads: &GradBuffer,
     index: &NodeToInstanceIndex,
+    threads: usize,
+    meter: &Meter,
 ) {
-    let hist = pool.acquire(node);
-    for &i in index.instances(node) {
-        let (g, h) = grads.instance(i as usize);
-        let (feats, bins) = binned.row(i as usize);
-        for (&f, &b) in feats.iter().zip(bins) {
-            hist.add_instance(f, b, g, h);
+    parallel::build_histogram_chunked(pool, node, index.instances(node), threads, meter, |hist, chunk| {
+        for &i in chunk {
+            let (g, h) = grads.instance(i as usize);
+            let (feats, bins) = binned.row(i as usize);
+            for (&f, &b) in feats.iter().zip(bins) {
+                hist.add_instance(f, b, g, h);
+            }
         }
-    }
+    });
 }
 
 #[cfg(test)]

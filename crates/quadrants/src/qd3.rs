@@ -17,13 +17,15 @@
 //! the §5.2.2 controlled comparison.
 
 use crate::common::{
-    shard_dataset, subtraction_plan, DistTrainResult, Frontier, TreeStat, TreeTracker,
+    shard_dataset, subtraction_plan, worker_threads, DistTrainResult, Frontier, TreeStat,
+    TreeTracker,
 };
 use crate::qd2::exchange_local_bests;
 use gbdt_cluster::{Cluster, Phase, WorkerCtx};
-use gbdt_core::histogram::HistogramPool;
+use gbdt_core::histogram::{add_instance_to_feature_slice, HistogramPool};
 use gbdt_core::indexes::{InstanceToNodeIndex, NodeToInstanceIndex};
-use gbdt_core::split::{best_split, NodeStats, Split, SplitParams};
+use gbdt_core::parallel::{par_feature_fill, Meter};
+use gbdt_core::split::{best_split_parallel, NodeStats, Split, SplitParams};
 use gbdt_core::tree::{self, Tree};
 use gbdt_core::{GbdtModel, GradBuffer, TrainConfig};
 use gbdt_data::dataset::Dataset;
@@ -67,6 +69,9 @@ fn train_worker(
     let p_local = grouping.group_len(rank);
     let params = SplitParams::from_config(config);
     let objective = config.objective;
+    let threads = worker_threads(config, ctx.world());
+    let meter = Meter::default();
+    ctx.stats.threads = threads as u64;
 
     // Column-store of the local feature group.
     let columns: BinnedColumns =
@@ -126,7 +131,16 @@ fn train_worker(
             // Histogram construction with the hybrid index plan.
             ctx.time(Phase::HistogramBuild, || {
                 if layer == 0 {
-                    build_histogram_hybrid(&mut pool, 0, &columns, &grads, &index, &inst_to_node);
+                    build_histogram_hybrid(
+                        &mut pool,
+                        0,
+                        &columns,
+                        &grads,
+                        &index,
+                        &inst_to_node,
+                        threads,
+                        &meter,
+                    );
                 } else {
                     let mut k = 0;
                     while k < frontier.nodes.len() {
@@ -141,6 +155,8 @@ fn train_worker(
                             &grads,
                             &index,
                             &inst_to_node,
+                            threads,
+                            &meter,
                         );
                         pool.subtract_sibling(tree::parent(l), b, s);
                         k += 2;
@@ -157,12 +173,13 @@ fn train_worker(
                         if frontier.counts[&node] < config.min_node_instances as u64 {
                             return None;
                         }
-                        best_split(
+                        best_split_parallel(
                             pool.get(node).expect("histogram live"),
                             &frontier.stats[&node],
                             &params,
                             |f| cuts.n_bins(to_global(f)),
                             to_global,
+                            threads,
                         )
                     })
                     .collect()
@@ -241,12 +258,15 @@ fn train_worker(
         model.trees.push(tree);
         per_tree.push(tracker.lap(ctx));
     }
+    ctx.stats.parallel_wall_seconds = meter.wall_seconds();
+    ctx.stats.parallel_busy_seconds = meter.busy_seconds();
     (model, per_tree)
 }
 
 /// Hybrid per-(node, column) histogram construction: linear column scan with
 /// instance-to-node filtering vs per-instance binary search, whichever the
 /// cost model predicts cheaper.
+#[allow(clippy::too_many_arguments)]
 fn build_histogram_hybrid(
     pool: &mut HistogramPool,
     node: u32,
@@ -254,10 +274,16 @@ fn build_histogram_hybrid(
     grads: &GradBuffer,
     index: &NodeToInstanceIndex,
     inst_to_node: &InstanceToNodeIndex,
+    threads: usize,
+    meter: &Meter,
 ) {
     let node_count = index.count(node);
     let hist = pool.acquire(node);
-    for j in 0..columns.n_features() {
+    let c = hist.n_outputs();
+    // Whole columns fan out across threads: each feature's histogram region
+    // is disjoint and filled in the sequential per-column order, so the
+    // result is bit-identical for every thread count.
+    par_feature_fill(hist, threads, meter, |j, slice| {
         let (insts, bins) = columns.col(j);
         let cost_linear = insts.len();
         let log_len = usize::BITS - insts.len().next_power_of_two().leading_zeros();
@@ -267,7 +293,7 @@ fn build_histogram_hybrid(
             for (&i, &b) in insts.iter().zip(bins) {
                 if inst_to_node.node_of(i) == node {
                     let (g, h) = grads.instance(i as usize);
-                    hist.add_instance(j as u32, b, g, h);
+                    add_instance_to_feature_slice(slice, c, b, g, h);
                 }
             }
         } else {
@@ -275,11 +301,11 @@ fn build_histogram_hybrid(
             for &i in index.instances(node) {
                 if let Ok(pos) = insts.binary_search(&i) {
                     let (g, h) = grads.instance(i as usize);
-                    hist.add_instance(j as u32, bins[pos], g, h);
+                    add_instance_to_feature_slice(slice, c, bins[pos], g, h);
                 }
             }
         }
-    }
+    });
 }
 
 /// Placement bitmap from column-store: binary search the split feature's

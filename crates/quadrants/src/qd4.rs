@@ -17,13 +17,15 @@
 //! or depth — the crux of the paper's Table 1.
 
 use crate::common::{
-    shard_dataset, subtraction_plan, DistTrainResult, Frontier, TreeStat, TreeTracker,
+    shard_dataset, subtraction_plan, worker_threads, DistTrainResult, Frontier, TreeStat,
+    TreeTracker,
 };
 use crate::qd2::exchange_local_bests;
 use gbdt_cluster::{Cluster, Phase, WorkerCtx};
 use gbdt_core::histogram::HistogramPool;
 use gbdt_core::indexes::NodeToInstanceIndex;
-use gbdt_core::split::{best_split, NodeStats, Split, SplitParams};
+use gbdt_core::parallel::{self, Meter};
+use gbdt_core::split::{best_split_parallel, NodeStats, Split, SplitParams};
 use gbdt_core::tree::{self, Tree};
 use gbdt_core::{GbdtModel, GradBuffer, TrainConfig};
 use gbdt_data::block::BlockedRows;
@@ -107,6 +109,9 @@ pub(crate) fn train_worker_with_options(
     let params = SplitParams::from_config(config);
     let objective = config.objective;
     let d_global = grouping.n_features();
+    let threads = worker_threads(config, ctx.world());
+    let meter = Meter::default();
+    ctx.stats.threads = threads as u64;
 
     ctx.stats.data_bytes = (local_data.heap_bytes() + labels.len() * 4) as u64;
 
@@ -164,7 +169,7 @@ pub(crate) fn train_worker_with_options(
             // Histogram construction with subtraction, over local features.
             ctx.time(Phase::HistogramBuild, || {
                 if layer == 0 {
-                    build_histogram(&mut pool, 0, &local_data, &grads, &index);
+                    build_histogram(&mut pool, 0, &local_data, &grads, &index, threads, &meter);
                 } else if options.use_subtraction {
                     let mut k = 0;
                     while k < frontier.nodes.len() {
@@ -172,7 +177,7 @@ pub(crate) fn train_worker_with_options(
                         let (build_left, _) =
                             subtraction_plan(frontier.counts[&l], frontier.counts[&r]);
                         let (b, s) = if build_left { (l, r) } else { (r, l) };
-                        build_histogram(&mut pool, b, &local_data, &grads, &index);
+                        build_histogram(&mut pool, b, &local_data, &grads, &index, threads, &meter);
                         pool.subtract_sibling(tree::parent(l), b, s);
                         k += 2;
                     }
@@ -180,7 +185,7 @@ pub(crate) fn train_worker_with_options(
                     // Ablation: no subtraction — both children built from
                     // their instances; parent histograms are dropped.
                     for &node in &frontier.nodes {
-                        build_histogram(&mut pool, node, &local_data, &grads, &index);
+                        build_histogram(&mut pool, node, &local_data, &grads, &index, threads, &meter);
                         let p = tree::parent(node);
                         pool.release(p);
                     }
@@ -197,12 +202,13 @@ pub(crate) fn train_worker_with_options(
                         if frontier.counts[&node] < config.min_node_instances as u64 {
                             return None;
                         }
-                        best_split(
+                        best_split_parallel(
                             pool.get(node).expect("histogram live"),
                             &frontier.stats[&node],
                             &params,
                             |f| cuts.n_bins(to_global(f)),
                             to_global,
+                            threads,
                         )
                     })
                     .collect()
@@ -283,6 +289,8 @@ pub(crate) fn train_worker_with_options(
         model.trees.push(tree);
         per_tree.push(tracker.lap(ctx));
     }
+    ctx.stats.parallel_wall_seconds = meter.wall_seconds();
+    ctx.stats.parallel_busy_seconds = meter.busy_seconds();
     (model, per_tree)
 }
 
@@ -317,15 +325,18 @@ fn build_histogram(
     local_data: &BlockedRows,
     grads: &GradBuffer,
     index: &NodeToInstanceIndex,
+    threads: usize,
+    meter: &Meter,
 ) {
-    let hist = pool.acquire(node);
-    for &i in index.instances(node) {
-        let (g, h) = grads.instance(i as usize);
-        let (feats, bins) = local_data.row(i);
-        for (&f, &b) in feats.iter().zip(bins) {
-            hist.add_instance(f, b, g, h);
+    parallel::build_histogram_chunked(pool, node, index.instances(node), threads, meter, |hist, chunk| {
+        for &i in chunk {
+            let (g, h) = grads.instance(i as usize);
+            let (feats, bins) = local_data.row(i);
+            for (&f, &b) in feats.iter().zip(bins) {
+                hist.add_instance(f, b, g, h);
+            }
         }
-    }
+    });
 }
 
 #[cfg(test)]
@@ -422,9 +433,8 @@ mod tests {
             let tcfg = TransformConfig::default();
             let (outputs, stats) = cluster.run(|ctx| {
                 let shard = shard_dataset(&ds, partition, ctx.rank());
-                let before_train;
                 let transformed = horizontal_to_vertical(ctx, &shard, partition, &tcfg);
-                before_train = ctx.comm.counters().bytes_sent;
+                let before_train = ctx.comm.counters().bytes_sent;
                 let out = train_worker_with_options(ctx, transformed, &cfg, Qd4Options::default());
                 (out, ctx.comm.counters().bytes_sent - before_train)
             });

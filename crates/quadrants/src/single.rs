@@ -5,10 +5,11 @@
 //! cross-quadrant equivalence tests compare against this implementation:
 //! on the same binned data every trainer must grow the same trees.
 
-use crate::common::{subtraction_plan, Frontier};
+use crate::common::{subtraction_plan, worker_threads, Frontier};
 use gbdt_core::histogram::HistogramPool;
 use gbdt_core::indexes::NodeToInstanceIndex;
-use gbdt_core::split::{best_split, NodeStats, SplitParams};
+use gbdt_core::parallel::{self, Meter};
+use gbdt_core::split::{best_split_parallel, NodeStats, SplitParams};
 use gbdt_core::tree::{self, Tree};
 use gbdt_core::{BinCuts, GbdtModel, GradBuffer, TrainConfig};
 use gbdt_data::dataset::Dataset;
@@ -35,6 +36,8 @@ pub fn train_prebinned(
     let c = config.n_outputs();
     let params = SplitParams::from_config(config);
     let objective = config.objective;
+    let threads = worker_threads(config, 1);
+    let meter = Meter::default();
 
     let mut model = GbdtModel::new(objective, config.learning_rate, d);
     let mut scores = vec![0.0f64; n * c];
@@ -82,7 +85,7 @@ pub fn train_prebinned(
             // Build histograms: root directly; deeper layers build the
             // smaller sibling and subtract for the other.
             if layer == 0 {
-                build_histogram(&mut pool, 0, binned, &grads, &index);
+                build_histogram(&mut pool, 0, binned, &grads, &index, threads, &meter);
             } else {
                 let mut k = 0;
                 while k < frontier.nodes.len() {
@@ -92,7 +95,7 @@ pub fn train_prebinned(
                     let (build_left, _) =
                         subtraction_plan(frontier.counts[&left], frontier.counts[&right]);
                     let (build, derive) = if build_left { (left, right) } else { (right, left) };
-                    build_histogram(&mut pool, build, binned, &grads, &index);
+                    build_histogram(&mut pool, build, binned, &grads, &index, threads, &meter);
                     pool.subtract_sibling(tree::parent(left), build, derive);
                     k += 2;
                 }
@@ -106,7 +109,7 @@ pub fn train_prebinned(
                     None
                 } else {
                     let hist = pool.get(node).expect("frontier node has a histogram");
-                    best_split(hist, stats, &params, |f| cuts.n_bins(f), |f| f)
+                    best_split_parallel(hist, stats, &params, |f| cuts.n_bins(f), |f| f, threads)
                 };
                 match decision {
                     Some(split) => {
@@ -163,15 +166,18 @@ fn build_histogram(
     binned: &BinnedRows,
     grads: &GradBuffer,
     index: &NodeToInstanceIndex,
+    threads: usize,
+    meter: &Meter,
 ) {
-    let hist = pool.acquire(node);
-    for &i in index.instances(node) {
-        let (g, h) = grads.instance(i as usize);
-        let (feats, bins) = binned.row(i as usize);
-        for (&f, &b) in feats.iter().zip(bins) {
-            hist.add_instance(f, b, g, h);
+    parallel::build_histogram_chunked(pool, node, index.instances(node), threads, meter, |hist, chunk| {
+        for &i in chunk {
+            let (g, h) = grads.instance(i as usize);
+            let (feats, bins) = binned.row(i as usize);
+            for (&f, &b) in feats.iter().zip(bins) {
+                hist.add_instance(f, b, g, h);
+            }
         }
-    }
+    });
 }
 
 #[cfg(test)]

@@ -9,13 +9,15 @@
 //! for low-dimensional datasets" (§3.2.3).
 
 use crate::common::{
-    shard_dataset, subtraction_plan, DistTrainResult, Frontier, TreeStat, TreeTracker,
+    shard_dataset, subtraction_plan, worker_threads, DistTrainResult, Frontier, TreeStat,
+    TreeTracker,
 };
 use crate::qd2::exchange_local_bests;
 use gbdt_cluster::{Cluster, Phase, WorkerCtx};
-use gbdt_core::histogram::HistogramPool;
+use gbdt_core::histogram::{add_instance_to_feature_slice, HistogramPool};
 use gbdt_core::indexes::{ColumnWiseIndex, NodeToInstanceIndex};
-use gbdt_core::split::{best_split, NodeStats, Split, SplitParams};
+use gbdt_core::parallel::{par_feature_fill, Meter};
+use gbdt_core::split::{best_split_parallel, NodeStats, Split, SplitParams};
 use gbdt_core::tree::{self, Tree};
 use gbdt_core::{GbdtModel, GradBuffer, TrainConfig};
 use gbdt_data::dataset::Dataset;
@@ -59,6 +61,9 @@ fn train_worker(
     let p_local = grouping.group_len(rank);
     let params = SplitParams::from_config(config);
     let objective = config.objective;
+    let threads = worker_threads(config, ctx.world());
+    let meter = Meter::default();
+    ctx.stats.threads = threads as u64;
 
     let columns: BinnedColumns =
         ctx.time(Phase::Transform, || local_data.to_binned_rows().to_columns());
@@ -120,7 +125,7 @@ fn train_worker(
             // column's node slice — the part this index is good at.
             ctx.time(Phase::HistogramBuild, || {
                 if layer == 0 {
-                    build_histogram(&mut pool, 0, &cw_index, &grads);
+                    build_histogram(&mut pool, 0, &cw_index, &grads, threads, &meter);
                 } else {
                     let mut k = 0;
                     while k < frontier.nodes.len() {
@@ -128,7 +133,7 @@ fn train_worker(
                         let (build_left, _) =
                             subtraction_plan(frontier.counts[&l], frontier.counts[&r]);
                         let (b, s) = if build_left { (l, r) } else { (r, l) };
-                        build_histogram(&mut pool, b, &cw_index, &grads);
+                        build_histogram(&mut pool, b, &cw_index, &grads, threads, &meter);
                         pool.subtract_sibling(tree::parent(l), b, s);
                         k += 2;
                     }
@@ -144,12 +149,13 @@ fn train_worker(
                         if frontier.counts[&node] < config.min_node_instances as u64 {
                             return None;
                         }
-                        best_split(
+                        best_split_parallel(
                             pool.get(node).expect("histogram live"),
                             &frontier.stats[&node],
                             &params,
                             |f| cuts.n_bins(to_global(f)),
                             to_global,
+                            threads,
                         )
                     })
                     .collect()
@@ -226,6 +232,8 @@ fn train_worker(
         model.trees.push(tree);
         per_tree.push(tracker.lap(ctx));
     }
+    ctx.stats.parallel_wall_seconds = meter.wall_seconds();
+    ctx.stats.parallel_busy_seconds = meter.busy_seconds();
     (model, per_tree)
 }
 
@@ -234,15 +242,21 @@ fn build_histogram(
     node: u32,
     cw_index: &ColumnWiseIndex,
     grads: &GradBuffer,
+    threads: usize,
+    meter: &Meter,
 ) {
     let hist = pool.acquire(node);
-    for j in 0..cw_index.n_features() {
+    let c = hist.n_outputs();
+    // Whole columns fan out across threads; each feature's region is
+    // disjoint and read in the sequential node-slice order, so the result
+    // is bit-identical for every thread count.
+    par_feature_fill(hist, threads, meter, |j, slice| {
         let (insts, bins) = cw_index.node_column(node, j);
         for (&i, &b) in insts.iter().zip(bins) {
             let (g, h) = grads.instance(i as usize);
-            hist.add_instance(j as u32, b, g, h);
+            add_instance_to_feature_slice(slice, c, b, g, h);
         }
-    }
+    });
 }
 
 /// Bitmap from the column-wise index: the split column's node slice is

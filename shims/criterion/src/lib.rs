@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the subset the workspace benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups, [`BenchmarkId`], and `Bencher::iter`.
+//! Measurement is simple wall-clock sampling: each benchmark is calibrated
+//! so a sample lasts at least a few milliseconds, then `sample_size` samples
+//! are taken and the per-iteration mean/min are reported. Under
+//! `cargo test` (which passes `--test` to `harness = false` targets) every
+//! benchmark body runs exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Harness entry point: holds configuration and CLI mode.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+            // Other cargo-forwarded flags (--bench, --nocapture, ...) are
+            // accepted and ignored.
+        }
+        Criterion { sample_size: 100, test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let full = id.into_benchmark_id().label;
+        run_benchmark(self, &full, f);
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_benchmark(self.criterion, &full, f);
+    }
+
+    /// Ends the group (kept for API compatibility; no summary is printed).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name and/or parameter value.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// Identifier that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`] (allows plain strings).
+pub trait IntoBenchmarkId {
+    /// Converts `self`.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`, keeping each result alive so the
+    /// optimizer cannot discard the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export so benches can use `criterion::black_box` if preferred.
+pub use std::hint::black_box;
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(c: &Criterion, name: &str, mut f: F) {
+    if let Some(filter) = &c.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if c.test_mode {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("test {name} ... ok");
+        return;
+    }
+
+    // Calibrate: grow the per-sample iteration count until one sample takes
+    // at least ~5 ms (so timer resolution is negligible).
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 30 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{name:<55} time: [mean {:>12} min {:>12}]  ({} samples x {iters} iters)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        c.sample_size,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Defines a benchmark group function, in either the positional form
+/// `criterion_group!(benches, f1, f2)` or the configured form
+/// `criterion_group! { name = benches; config = ...; targets = f1, f2 }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).label, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+        assert_eq!("plain".into_benchmark_id().label, "plain");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { sample_size: 10, test_mode: true, filter: None };
+        let mut runs = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 10,
+            test_mode: true,
+            filter: Some("wanted".to_string()),
+        };
+        let mut runs = 0u32;
+        c.bench_function("other", |b| b.iter(|| runs += 1));
+        c.bench_function("wanted_bench", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

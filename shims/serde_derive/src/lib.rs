@@ -1,0 +1,351 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored serde shim's value-tree `Serialize`/`Deserialize`
+//! traits. Implemented directly on `proc_macro::TokenStream` (no
+//! syn/quote — they are unavailable offline): the input item is scanned for
+//! its shape (struct with named fields, or enum with unit / tuple / struct
+//! variants — the only shapes in this workspace), and the impl is emitted
+//! as generated source text. Enums use the externally-tagged layout, so
+//! the JSON matches what upstream serde would produce for these types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => serialize_struct(name, fields),
+        Shape::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => deserialize_struct(name, fields),
+        Shape::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
+
+// --- input parsing ---
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Scan past attributes / visibility to the `struct` or `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+            Some(_) => i += 1,
+            None => panic!("derive input has no struct or enum keyword"),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after {kind}, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("shim serde_derive does not support generic type {name}");
+        }
+    }
+    // The body is the next brace group (skips nothing else for the shapes
+    // in this workspace; tuple structs would hit the panic below).
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("shim serde_derive does not support tuple/unit struct {name}")
+            }
+            Some(_) => i += 1,
+            None => panic!("no body found for {name}"),
+        }
+    };
+    if kind == "struct" {
+        Shape::Struct { name, fields: parse_field_names(body) }
+    } else {
+        Shape::Enum { name, variants: parse_variants(body) }
+    }
+}
+
+/// Splits a token stream on top-level commas.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(tt),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strips leading attributes (`#[...]`) and visibility from a token list,
+/// returning the index of the first remaining token.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> usize {
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // '#' + [group]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Field names of a named-field body: `attr* vis? name : type`.
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    split_commas(body)
+        .into_iter()
+        .map(|tokens| {
+            let i = skip_attrs_and_vis(&tokens);
+            match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    split_commas(body)
+        .into_iter()
+        .map(|tokens| {
+            let i = skip_attrs_and_vis(&tokens);
+            let name = match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, got {other:?}"),
+            };
+            match tokens.get(i + 1) {
+                None => Variant::Unit(name),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Variant::Struct(name, parse_field_names(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Variant::Tuple(name, split_commas(g.stream()).len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    panic!("shim serde_derive does not support discriminants on {name}")
+                }
+                other => panic!("unexpected token after variant {name}: {other:?}"),
+            }
+        })
+        .collect()
+}
+
+// --- code generation ---
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let mut inserts = String::new();
+    for f in fields {
+        inserts.push_str(&format!(
+            "m.insert(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}));\n"
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 let mut m = serde::Map::new();\n\
+                 {inserts}\
+                 serde::Value::Object(m)\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let mut field_exprs = String::new();
+    for f in fields {
+        field_exprs.push_str(&format!(
+            "{f}: serde::Deserialize::from_value(\n\
+                 obj.get(\"{f}\").unwrap_or(&serde::Value::Null)\n\
+             ).map_err(|e| e.at(\"{name}.{f}\"))?,\n"
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 let obj = v.as_object().ok_or_else(|| serde::Error::custom(\n\
+                     format!(\"expected object for {name}, got {{}}\", v.kind())\n\
+                 ))?;\n\
+                 Ok({name} {{\n\
+                     {field_exprs}\
+                 }})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match v {
+            Variant::Unit(vn) => arms.push_str(&format!(
+                "{name}::{vn} => serde::Value::String(\"{vn}\".to_string()),\n"
+            )),
+            Variant::Tuple(vn, n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                let bind_list = binds.join(", ");
+                let inner = if *n == 1 {
+                    "serde::Serialize::to_value(x0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({bind_list}) => {{\n\
+                         let mut m = serde::Map::new();\n\
+                         m.insert(\"{vn}\".to_string(), {inner});\n\
+                         serde::Value::Object(m)\n\
+                     }}\n"
+                ));
+            }
+            Variant::Struct(vn, fields) => {
+                let bind_list = fields.join(", ");
+                let mut inserts = String::new();
+                for f in fields {
+                    inserts.push_str(&format!(
+                        "inner.insert(\"{f}\".to_string(), serde::Serialize::to_value({f}));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {bind_list} }} => {{\n\
+                         let mut inner = serde::Map::new();\n\
+                         {inserts}\
+                         let mut m = serde::Map::new();\n\
+                         m.insert(\"{vn}\".to_string(), serde::Value::Object(inner));\n\
+                         serde::Value::Object(m)\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 match self {{\n\
+                     {arms}\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        match v {
+            Variant::Unit(vn) => unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+            Variant::Tuple(vn, n) => {
+                let body = if *n == 1 {
+                    format!(
+                        "Ok({name}::{vn}(serde::Deserialize::from_value(inner)\n\
+                             .map_err(|e| e.at(\"{name}::{vn}\"))?))"
+                    )
+                } else {
+                    let mut parts = String::new();
+                    for k in 0..*n {
+                        parts.push_str(&format!(
+                            "serde::Deserialize::from_value(\n\
+                                 items.get({k}).unwrap_or(&serde::Value::Null)\n\
+                             ).map_err(|e| e.at(\"{name}::{vn}.{k}\"))?,\n"
+                        ));
+                    }
+                    format!(
+                        "{{\n\
+                             let items = inner.as_array().ok_or_else(|| serde::Error::custom(\n\
+                                 \"expected array for {name}::{vn}\"\n\
+                             ))?;\n\
+                             Ok({name}::{vn}({parts}))\n\
+                         }}"
+                    )
+                };
+                tagged_arms.push_str(&format!("\"{vn}\" => {body},\n"));
+            }
+            Variant::Struct(vn, fields) => {
+                let mut parts = String::new();
+                for f in fields {
+                    parts.push_str(&format!(
+                        "{f}: serde::Deserialize::from_value(\n\
+                             inner.get(\"{f}\").unwrap_or(&serde::Value::Null)\n\
+                         ).map_err(|e| e.at(\"{name}::{vn}.{f}\"))?,\n"
+                    ));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => Ok({name}::{vn} {{ {parts} }}),\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 match v {{\n\
+                     serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(serde::Error::custom(format!(\n\
+                             \"unknown {name} variant '{{other}}'\"\n\
+                         ))),\n\
+                     }},\n\
+                     serde::Value::Object(m) if m.len() == 1 => {{\n\
+                         let (tag, inner) = m.iter().next().expect(\"len checked\");\n\
+                         let _ = &inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\
+                             other => Err(serde::Error::custom(format!(\n\
+                                 \"unknown {name} variant '{{other}}'\"\n\
+                             ))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(serde::Error::custom(format!(\n\
+                         \"expected {name} variant, got {{}}\", other.kind()\n\
+                     ))),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,180 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Re-exports the serde shim's value tree as [`Value`]/[`Number`]/[`Map`],
+//! provides `to_string`/`from_str` over the shim's `Serialize`/`Deserialize`
+//! traits, and a `json!` macro (a token-munching object/array builder, the
+//! same well-known technique the upstream macro uses). Floats print in
+//! Rust's shortest-roundtrip form, matching the `float_roundtrip` feature
+//! the workspace requests upstream.
+
+pub use serde::{Map, Number, Value};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes `value` to "pretty" JSON (the shim prints compactly —
+/// nothing in the workspace depends on the whitespace).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = serde::value::parse(s).map_err(|message| Error { message })?;
+    T::from_value(&value).map_err(|e| Error { message: e.to_string() })
+}
+
+/// Converts any `Serialize` type into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a `Deserialize` type from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(|e| Error { message: e.to_string() })
+}
+
+/// Builds a [`Value`] from JSON-shaped syntax with interpolated Rust
+/// expressions for both keys and values, like upstream `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => {
+        $crate::json_internal!($($json)+)
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    // ---- array munching: elements accumulate in [$($elems:expr,)*] ----
+
+    // All elements munched: build the array.
+    (@array [$($elems:expr,)*]) => {
+        $crate::Value::Array(<[_]>::into_vec(::std::boxed::Box::new([$($elems),*])))
+    };
+    // Special element forms become parenthesized built Values first.
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] ($crate::Value::Null) $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] ($crate::json_internal!({$($map)*})) $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] ($crate::json_internal!([$($arr)*])) $($rest)*)
+    };
+    // Element followed by a comma.
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::to_value(&$next).unwrap(),] $($rest)*)
+    };
+    // Final element.
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::to_value(&$last).unwrap(),])
+    };
+
+    // ---- object munching: key tts accumulate in (...), then [$key] ----
+
+    // All entries munched.
+    (@object $object:ident () ()) => {};
+    // Special value forms become parenthesized built Values first.
+    (@object $object:ident [$($key:tt)+] (: null $($rest:tt)*)) => {
+        $crate::json_internal!(@object $object [$($key)+] (: ($crate::Value::Null) $($rest)*))
+    };
+    (@object $object:ident [$($key:tt)+] (: {$($map:tt)*} $($rest:tt)*)) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] (: ($crate::json_internal!({$($map)*})) $($rest)*)
+        )
+    };
+    (@object $object:ident [$($key:tt)+] (: [$($arr:tt)*] $($rest:tt)*)) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] (: ($crate::json_internal!([$($arr)*])) $($rest)*)
+        )
+    };
+    // Entry followed by a comma.
+    (@object $object:ident [$($key:tt)+] (: $value:expr , $($rest:tt)*)) => {
+        $object.insert(($($key)+).to_string(), $crate::to_value(&$value).unwrap());
+        $crate::json_internal!(@object $object () ($($rest)*));
+    };
+    // Final entry.
+    (@object $object:ident [$($key:tt)+] (: $value:expr)) => {
+        $object.insert(($($key)+).to_string(), $crate::to_value(&$value).unwrap());
+    };
+    // Key complete when ':' is next.
+    (@object $object:ident ($($key:tt)+) (: $($rest:tt)*)) => {
+        $crate::json_internal!(@object $object [$($key)+] (: $($rest)*));
+    };
+    // Munch one more key token.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*)) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*));
+    };
+
+    // ---- entry points ----
+
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::json_internal!(@array [] $($tt)+)
+    };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_internal!(@object object () ($($tt)+));
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other).unwrap() };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_scalars_and_objects() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(json!(3).as_u64(), Some(3));
+        assert_eq!(json!(3.5).as_f64(), Some(3.5));
+        assert_eq!(json!("x").as_str(), Some("x"));
+        let key = ("dynamic", 1usize);
+        let v = json!({
+            "a": 1,
+            "s": "str",
+            key.0: key.1,
+            "nested": {"b": [1, 2.5, null, {"c": false}], "empty": {}},
+            "arr": [],
+        });
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(obj.get("dynamic").unwrap().as_u64(), Some(1));
+        let nested = obj.get("nested").unwrap().as_object().unwrap();
+        let arr = nested.get("b").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert!(arr[2].is_null());
+        assert_eq!(arr[3].get("c").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let v = json!({"a": 1, "b": [true, null], "c": -2.25});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        assert!(from_str::<Value>("{bad json").is_err());
+    }
+}

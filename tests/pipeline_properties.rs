@@ -36,7 +36,7 @@ fn arb_dataset() -> impl Strategy<Value = Dataset> {
             Dataset::new(FeatureMatrix::Sparse(b.build()), labels, 2, "prop").unwrap()
         })
         .prop_filter("need both classes", |ds| {
-            ds.labels.iter().any(|&y| y == 0.0) && ds.labels.iter().any(|&y| y == 1.0)
+            ds.labels.contains(&0.0) && ds.labels.contains(&1.0)
         })
 }
 
