@@ -3,11 +3,13 @@
 //! Supported forms: `--key value` and `--flag`. Unknown keys are rejected so
 //! typos fail loudly.
 
+use gbdt_core::WireCodec;
 use std::collections::HashMap;
 
 /// Value keys every experiment binary accepts without listing them:
-/// `--threads N` sets the intra-worker thread budget (0 = auto).
-const UNIVERSAL_VALUE_KEYS: [&str; 1] = ["threads"];
+/// `--threads N` sets the intra-worker thread budget (0 = auto) and
+/// `--wire {dense,sparse,auto,f32}` picks the histogram wire codec.
+const UNIVERSAL_VALUE_KEYS: [&str; 2] = ["threads", "wire"];
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone)]
@@ -79,6 +81,12 @@ impl Args {
     pub fn threads(&self) -> usize {
         self.get_or("threads", 0)
     }
+
+    /// The `--wire` histogram codec every binary accepts (default: dense,
+    /// the legacy bit-exact format).
+    pub fn wire(&self) -> WireCodec {
+        self.get_or("wire", WireCodec::Dense)
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +116,19 @@ mod tests {
         let args = Args::parse_from(strs(&["--threads", "4"]), &[], &[]);
         assert_eq!(args.threads(), 4);
         assert_eq!(Args::parse_from(strs(&[]), &[], &[]).threads(), 0);
+    }
+
+    #[test]
+    fn wire_key_is_universal() {
+        let args = Args::parse_from(strs(&["--wire", "auto"]), &[], &[]);
+        assert_eq!(args.wire(), WireCodec::Auto);
+        assert_eq!(Args::parse_from(strs(&[]), &[], &[]).wire(), WireCodec::Dense);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad --wire")]
+    fn rejects_unknown_wire_codec() {
+        Args::parse_from(strs(&["--wire", "gzip"]), &[], &[]).wire();
     }
 
     #[test]

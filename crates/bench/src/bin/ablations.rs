@@ -7,13 +7,16 @@
 //!   range on a skew-heavy dataset (§4.2.3's straggler concern);
 //! * **network bandwidth sensitivity** — QD2 vs Vero across 0.1 / 1 / 10
 //!   Gbps links (the §6 observation that 10 Gbps lets horizontal systems
-//!   close the gap on low-dimensional data).
+//!   close the gap on low-dimensional data);
+//! * **histogram wire codec** — dense vs sparse vs adaptive vs lossy-f32
+//!   aggregation payloads on sparse high-dimensional data (DESIGN.md §4.7),
+//!   reporting logical vs wire bytes, compression ratio, and wall-time.
 
 use gbdt_bench::args::Args;
 use gbdt_bench::output::ExperimentWriter;
 use gbdt_bench::systems::System;
 use gbdt_cluster::{Cluster, NetworkCostModel};
-use gbdt_core::TrainConfig;
+use gbdt_core::{TrainConfig, WireCodec};
 use gbdt_data::synthetic::SyntheticConfig;
 use gbdt_partition::transform::TransformConfig;
 use rand::prelude::*;
@@ -33,6 +36,7 @@ fn main() {
         .n_trees(trees)
         .n_layers(8)
         .threads(args.threads())
+        .wire(args.wire())
         .build()
         .unwrap();
 
@@ -142,6 +146,47 @@ fn main() {
             "vero_s_per_tree": vero.mean_tree_seconds(),
             "vero_comm_s": vero.mean_tree_comm_seconds(),
             "speedup": qd2.mean_tree_seconds() / vero.mean_tree_seconds(),
+        }));
+    }
+    // --- 4. Histogram wire codec ---
+    // Sparse high-dimensional data keeps most bins empty below the root, so
+    // the adaptive codec should cut aggregation bytes hard while staying
+    // bit-identical to dense; f32 halves the residual dense payloads at the
+    // cost of a (slightly) different ensemble.
+    w.section("histogram wire codec (QD2 all-reduce, sparse D=2000)");
+    let sparse_ds = SyntheticConfig {
+        n_instances: n,
+        n_features: 2_000,
+        density: 0.05,
+        seed: 21,
+        ..Default::default()
+    }
+    .generate();
+    let mut dense_model = None;
+    for codec in WireCodec::ALL {
+        let wcfg = TrainConfig::builder()
+            .n_trees(trees)
+            .n_layers(8)
+            .threads(args.threads())
+            .wire(codec)
+            .build()
+            .unwrap();
+        let result = System::Qd2AllReduce.run(&Cluster::new(workers), &sparse_ds, &wcfg);
+        let identical = match &dense_model {
+            None => {
+                dense_model = Some(result.model.clone());
+                true
+            }
+            Some(m) => *m == result.model,
+        };
+        w.row(json!({
+            "wire": codec.label(),
+            "logical_mb": result.stats.total_logical_f64_bytes() as f64 / 1e6,
+            "wire_mb": result.stats.total_wire_f64_bytes() as f64 / 1e6,
+            "compression": result.stats.wire_compression(),
+            "s_per_tree": result.mean_tree_seconds(),
+            "comm_s_per_tree": result.mean_tree_comm_seconds(),
+            "identical_to_dense": identical,
         }));
     }
     println!("\nDone. Rows written to results/ablations.jsonl");

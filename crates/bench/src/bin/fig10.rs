@@ -17,9 +17,17 @@ use gbdt_bench::args::Args;
 use gbdt_bench::output::ExperimentWriter;
 use gbdt_bench::systems::System;
 use gbdt_cluster::Cluster;
-use gbdt_core::{Objective, TrainConfig};
+use gbdt_core::{Objective, TrainConfig, WireCodec};
 use gbdt_data::synthetic::SyntheticConfig;
 use serde_json::json;
+
+/// Sweep-invariant run settings shared by every fig10 point.
+#[derive(Clone, Copy)]
+struct Knobs {
+    trees: usize,
+    threads: usize,
+    wire: WireCodec,
+}
 
 struct Point {
     n: usize,
@@ -47,17 +55,18 @@ fn dataset(p: &Point, seed: u64) -> gbdt_data::Dataset {
     .generate()
 }
 
-fn config(p: &Point, trees: usize, threads: usize) -> TrainConfig {
+fn config(p: &Point, knobs: Knobs) -> TrainConfig {
     let objective = if p.c > 2 {
         Objective::Softmax { n_classes: p.c }
     } else {
         Objective::Logistic
     };
     TrainConfig::builder()
-        .n_trees(trees)
+        .n_trees(knobs.trees)
         .n_layers(p.l)
         .objective(objective)
-        .threads(threads)
+        .threads(knobs.threads)
+        .wire(knobs.wire)
         .build()
         .expect("valid fig10 config")
 }
@@ -67,13 +76,12 @@ fn run_point(
     system: System,
     p: &Point,
     workers: usize,
-    trees: usize,
-    threads: usize,
+    knobs: Knobs,
     label: (&str, usize),
 ) {
     let ds = dataset(p, 100 + label.1 as u64);
     let cluster = Cluster::new(workers);
-    let result = system.run(&cluster, &ds, &config(p, trees, threads));
+    let result = system.run(&cluster, &ds, &config(p, knobs));
     w.row(json!({
         "system": system.name(),
         label.0: label.1,
@@ -92,7 +100,7 @@ fn main() {
     let scale = args.get_or("scale", 1.0f64);
     let workers = args.get_or("workers", 8usize);
     let trees = args.get_or("trees", 3usize);
-    let threads = args.threads();
+    let knobs = Knobs { trees, threads: args.threads(), wire: args.wire() };
     let which = args.get("plot").map(str::to_string);
     let want = |p: &str| which.as_deref().is_none_or(|w| w == p);
     let sc = |n: usize| ((n as f64 / (500.0 * scale)) as usize).max(1000);
@@ -106,64 +114,64 @@ fn main() {
         w.section("(a) impact of instance number: D=100, C=2, L=8");
         for n in [5_000_000usize, 10_000_000, 15_000_000, 20_000_000] {
             let p = Point { n: sc(n), d: 100, c: 2, l: 8 };
-            run_point(&mut w, horizontal, &p, workers, trees, threads, ("N", p.n));
-            run_point(&mut w, vertical, &p, workers, trees, threads, ("N", p.n));
+            run_point(&mut w, horizontal, &p, workers, knobs, ("N", p.n));
+            run_point(&mut w, vertical, &p, workers, knobs, ("N", p.n));
         }
     }
     if want("b") {
         w.section("(b) impact of dimensionality: N=50M/scale, C=2, L=8");
         for d in [1_250usize, 2_500, 3_750, 5_000] {
             let p = Point { n: sc(50_000_000) / 2, d, c: 2, l: 8 };
-            run_point(&mut w, horizontal, &p, workers, trees, threads, ("D", d));
-            run_point(&mut w, vertical, &p, workers, trees, threads, ("D", d));
+            run_point(&mut w, horizontal, &p, workers, knobs, ("D", d));
+            run_point(&mut w, vertical, &p, workers, knobs, ("D", d));
         }
     }
     if want("c") {
         w.section("(c) impact of tree depth: N=50M/scale, D=5000, C=2");
         for l in [8usize, 9, 10] {
             let p = Point { n: sc(50_000_000) / 2, d: 5_000, c: 2, l };
-            run_point(&mut w, horizontal, &p, workers, trees.min(2), threads, ("L", l));
-            run_point(&mut w, vertical, &p, workers, trees.min(2), threads, ("L", l));
+            run_point(&mut w, horizontal, &p, workers, Knobs { trees: trees.min(2), ..knobs }, ("L", l));
+            run_point(&mut w, vertical, &p, workers, Knobs { trees: trees.min(2), ..knobs }, ("L", l));
         }
     }
     if want("d") {
         w.section("(d) impact of multi-classes: N=50M/scale, D=1250, L=8");
         for c in [3usize, 5, 10] {
             let p = Point { n: sc(50_000_000) / 2, d: 1_250, c, l: 8 };
-            run_point(&mut w, horizontal, &p, workers, trees, threads, ("C", c));
-            run_point(&mut w, vertical, &p, workers, trees, threads, ("C", c));
+            run_point(&mut w, horizontal, &p, workers, knobs, ("C", c));
+            run_point(&mut w, vertical, &p, workers, knobs, ("C", c));
         }
     }
     if want("e") {
         w.section("(e) memory breakdown vs D: N=50M/scale, C=2, L=8");
         for d in [1_250usize, 2_500, 3_750, 5_000] {
             let p = Point { n: sc(50_000_000) / 2, d, c: 2, l: 8 };
-            run_point(&mut w, horizontal, &p, workers, 2, threads, ("D", d));
-            run_point(&mut w, vertical, &p, workers, 2, threads, ("D", d));
+            run_point(&mut w, horizontal, &p, workers, Knobs { trees: 2, ..knobs }, ("D", d));
+            run_point(&mut w, vertical, &p, workers, Knobs { trees: 2, ..knobs }, ("D", d));
         }
     }
     if want("f") {
         w.section("(f) memory breakdown vs C: N=50M/scale, D=1250, L=8");
         for c in [3usize, 5, 10] {
             let p = Point { n: sc(50_000_000) / 2, d: 1_250, c, l: 8 };
-            run_point(&mut w, horizontal, &p, workers, 2, threads, ("C", c));
-            run_point(&mut w, vertical, &p, workers, 2, threads, ("C", c));
+            run_point(&mut w, horizontal, &p, workers, Knobs { trees: 2, ..knobs }, ("C", c));
+            run_point(&mut w, vertical, &p, workers, Knobs { trees: 2, ..knobs }, ("C", c));
         }
     }
     if want("g") {
         w.section("(g) QD3 vs QD4, few instances: N=10K, C=2, L=8");
         for d in [1_250usize, 2_500, 3_750, 5_000] {
             let p = Point { n: 10_000, d, c: 2, l: 8 };
-            run_point(&mut w, vertical_col, &p, workers, trees, threads, ("D", d));
-            run_point(&mut w, vertical, &p, workers, trees, threads, ("D", d));
+            run_point(&mut w, vertical_col, &p, workers, knobs, ("D", d));
+            run_point(&mut w, vertical, &p, workers, knobs, ("D", d));
         }
     }
     if want("h") {
         w.section("(h) QD3 vs QD4 vs instance number: D=5000, C=2, L=8");
         for n in [10_000_000usize, 20_000_000, 30_000_000, 40_000_000] {
             let p = Point { n: sc(n), d: 5_000, c: 2, l: 8 };
-            run_point(&mut w, vertical_col, &p, workers, trees, threads, ("N", p.n));
-            run_point(&mut w, vertical, &p, workers, trees, threads, ("N", p.n));
+            run_point(&mut w, vertical_col, &p, workers, knobs, ("N", p.n));
+            run_point(&mut w, vertical, &p, workers, knobs, ("N", p.n));
         }
     }
 
@@ -184,8 +192,8 @@ fn main() {
         for (tag, p) in probes {
             let ds = dataset(&p, 7);
             let cluster = Cluster::new(workers);
-            let qd2 = System::Qd2AllReduce.run(&cluster, &ds, &config(&p, 2, threads));
-            let qd4 = System::Vero.run(&cluster, &ds, &config(&p, 2, threads));
+            let qd2 = System::Qd2AllReduce.run(&cluster, &ds, &config(&p, Knobs { trees: 2, ..knobs }));
+            let qd4 = System::Vero.run(&cluster, &ds, &config(&p, Knobs { trees: 2, ..knobs }));
             let winner = if qd4.mean_tree_seconds() < qd2.mean_tree_seconds() {
                 "QD4 (vertical+row)"
             } else {

@@ -68,6 +68,7 @@ fn main() {
         let multiclass = full.n_classes > 2;
         let mut cfg = config_for(&train, trees, layers);
         cfg.threads = args.threads();
+        cfg.wire = args.wire();
 
         w.section(&format!(
             "{name}: N={} D={} C={} W={workers} T={trees} L={layers}",

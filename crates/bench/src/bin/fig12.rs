@@ -42,6 +42,7 @@ fn main() {
         let workers = datasets::default_workers(name);
         let mut cfg = config_for(&train, trees, layers);
         cfg.threads = args.threads();
+        cfg.wire = args.wire();
 
         w.section(&format!(
             "{name}: N={} D={} C={} W={workers} (10 Gbps links, paper §6)",

@@ -42,6 +42,7 @@ fn main() {
         let workers = datasets::default_workers(name);
         let mut cfg = config_for(&train, trees, layers);
         cfg.threads = args.threads();
+        cfg.wire = args.wire();
         let multiclass = full.n_classes > 2;
 
         let mut seconds: Vec<(System, f64)> = Vec::new();

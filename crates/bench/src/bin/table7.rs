@@ -28,6 +28,7 @@ fn main() {
             .n_trees(trees)
             .n_layers(8)
             .threads(args.threads())
+            .wire(args.wire())
             .build()
             .unwrap();
         let cluster = Cluster::new(5);

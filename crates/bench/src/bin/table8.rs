@@ -35,6 +35,7 @@ fn main() {
             .n_layers(8)
             .objective(objective)
             .threads(args.threads())
+            .wire(args.wire())
             .build()
             .unwrap();
         let cluster = Cluster::new(workers);

@@ -6,23 +6,24 @@
 //! are auto-allocated from a per-endpoint counter that stays aligned across
 //! ranks. All reductions run in deterministic order, so repeated runs produce
 //! bit-identical results.
+//!
+//! The f64 reductions come in two flavors: the legacy methods ship raw
+//! little-endian f64s, and `*_codec` variants route every payload through a
+//! [`crate::wire::WireCodec`] (sparse / adaptive / low-precision), decoding
+//! and merging in the same deterministic rank/segment order. The legacy
+//! methods are the [`WireCodec::Dense`] special case, so byte counts of
+//! existing callers are unchanged.
 
 use crate::comm::Comm;
+use crate::wire::{self, WireCodec};
 use bytes::Bytes;
 
 fn f64s_to_bytes(buf: &[f64]) -> Bytes {
-    let mut out = Vec::with_capacity(buf.len() * 8);
-    for v in buf {
-        out.extend_from_slice(&v.to_le_bytes());
-    }
-    Bytes::from(out)
+    wire::f64s_to_bytes(buf)
 }
 
 fn bytes_to_f64s(bytes: &Bytes) -> Vec<f64> {
-    bytes
-        .chunks_exact(8)
-        .map(|ch| f64::from_le_bytes(ch.try_into().unwrap()))
-        .collect()
+    wire::bytes_to_f64s(bytes)
 }
 
 /// Segment `[start, end)` of a length-`len` buffer owned by `seg` of `world`.
@@ -99,20 +100,22 @@ impl Comm {
     /// gather-style aggregation whose single-point bottleneck DimBoost's
     /// parameter server avoids (§4.1). Non-roots keep their input.
     pub fn reduce_to_root_f64(&self, root: usize, buf: &mut [f64]) {
+        self.reduce_to_root_f64_codec(WireCodec::Dense, root, buf);
+    }
+
+    /// [`Self::reduce_to_root_f64`] with payloads encoded under `codec`;
+    /// contributions are decode-merged at the root in rank order.
+    pub fn reduce_to_root_f64_codec(&self, codec: WireCodec, root: usize, buf: &mut [f64]) {
         let tag = self.alloc_collective_tag();
         if self.rank() == root {
             for from in 0..self.world() {
                 if from == root {
                     continue;
                 }
-                let other = bytes_to_f64s(&self.recv(from, tag));
-                assert_eq!(other.len(), buf.len(), "reduce buffer length mismatch");
-                for (a, b) in buf.iter_mut().zip(&other) {
-                    *a += b;
-                }
+                wire::decode_add(&self.recv(from, tag), buf);
             }
         } else {
-            self.send(root, tag, f64s_to_bytes(buf));
+            self.send_f64s(root, tag, codec, buf);
         }
     }
 
@@ -133,6 +136,13 @@ impl Comm {
     /// `buf` is garbage. Each rank moves `(W−1)/W · len` elements each way —
     /// the bandwidth-optimal aggregation LightGBM uses (§4.1).
     pub fn reduce_scatter_f64(&self, buf: &mut [f64]) -> (usize, usize) {
+        self.reduce_scatter_f64_codec(WireCodec::Dense, buf)
+    }
+
+    /// [`Self::reduce_scatter_f64`] with every ring hop encoded under
+    /// `codec`. Partial sums are decode-merged in the same segment order as
+    /// the dense ring, so lossless codecs stay bit-identical.
+    pub fn reduce_scatter_f64_codec(&self, codec: WireCodec, buf: &mut [f64]) -> (usize, usize) {
         let w = self.world();
         let r = self.rank();
         if w == 1 {
@@ -149,13 +159,10 @@ impl Comm {
             let send_seg = (r + w - s) % w;
             let recv_seg = (r + w - s - 1) % w;
             let (slo, shi) = segment_bounds(buf.len(), w, send_seg);
-            self.send(next, tag + s as u64, f64s_to_bytes(&buf[slo..shi]));
-            let incoming = bytes_to_f64s(&self.recv(prev, tag + s as u64));
+            self.send_f64s(next, tag + s as u64, codec, &buf[slo..shi]);
+            let incoming = self.recv(prev, tag + s as u64);
             let (rlo, rhi) = segment_bounds(buf.len(), w, recv_seg);
-            assert_eq!(incoming.len(), rhi - rlo, "segment length mismatch");
-            for (a, b) in buf[rlo..rhi].iter_mut().zip(&incoming) {
-                *a += b;
-            }
+            wire::decode_add(&incoming, &mut buf[rlo..rhi]);
         }
         // After the loop, rank r fully owns segment (r + 1) mod w. Rotate one
         // more hop so rank r ends with segment r (one extra segment-sized
@@ -165,17 +172,22 @@ impl Comm {
         let tag2 = self.alloc_collective_tag();
         // Rank r owns segment r+1, which is exactly what `next` wants; my
         // segment r sits on `prev`.
-        self.send(next, tag2, f64s_to_bytes(&buf[olo..ohi]));
-        let mine = bytes_to_f64s(&self.recv(prev, tag2));
+        self.send_f64s(next, tag2, codec, &buf[olo..ohi]);
+        let mine = self.recv(prev, tag2);
         let (mlo, mhi) = segment_bounds(buf.len(), w, r);
-        assert_eq!(mine.len(), mhi - mlo, "final segment length mismatch");
-        buf[mlo..mhi].copy_from_slice(&mine);
+        wire::decode_into(&mine, &mut buf[mlo..mhi]);
         (mlo, mhi)
     }
 
     /// Ring all-gather of segments: rank `r` contributes segment `r` of
     /// `buf`; on return every rank holds the complete buffer.
     pub fn all_gather_segments_f64(&self, buf: &mut [f64]) {
+        self.all_gather_segments_f64_codec(WireCodec::Dense, buf);
+    }
+
+    /// [`Self::all_gather_segments_f64`] with every forwarded segment encoded
+    /// under `codec`.
+    pub fn all_gather_segments_f64_codec(&self, codec: WireCodec, buf: &mut [f64]) {
         let w = self.world();
         let r = self.rank();
         if w == 1 {
@@ -188,19 +200,26 @@ impl Comm {
             let send_seg = (r + w - s) % w;
             let recv_seg = (r + w - s - 1) % w;
             let (slo, shi) = segment_bounds(buf.len(), w, send_seg);
-            self.send(next, tag + s as u64, f64s_to_bytes(&buf[slo..shi]));
-            let incoming = bytes_to_f64s(&self.recv(prev, tag + s as u64));
+            self.send_f64s(next, tag + s as u64, codec, &buf[slo..shi]);
+            let incoming = self.recv(prev, tag + s as u64);
             let (rlo, rhi) = segment_bounds(buf.len(), w, recv_seg);
-            assert_eq!(incoming.len(), rhi - rlo, "segment length mismatch");
-            buf[rlo..rhi].copy_from_slice(&incoming);
+            wire::decode_into(&incoming, &mut buf[rlo..rhi]);
         }
     }
 
     /// Ring all-reduce: element-wise sum of `buf` across all ranks, complete
     /// everywhere (reduce-scatter + all-gather; ~2·len traffic per rank).
     pub fn all_reduce_f64(&self, buf: &mut [f64]) {
-        self.reduce_scatter_f64(buf);
-        self.all_gather_segments_f64(buf);
+        self.all_reduce_f64_codec(WireCodec::Dense, buf);
+    }
+
+    /// [`Self::all_reduce_f64`] with every hop encoded under `codec`. With
+    /// [`WireCodec::F32`] the reduced segments are forwarded verbatim through
+    /// the all-gather (f32→f64→f32 is exact), so all ranks still agree
+    /// bit-for-bit with each other — just not with the dense result.
+    pub fn all_reduce_f64_codec(&self, codec: WireCodec, buf: &mut [f64]) {
+        self.reduce_scatter_f64_codec(codec, buf);
+        self.all_gather_segments_f64_codec(codec, buf);
     }
 }
 
@@ -352,6 +371,110 @@ mod tests {
         for c in counters {
             assert_eq!(c.bytes_sent, 100);
             assert_eq!(c.bytes_received, 100);
+            assert_eq!(c.logical_f64_bytes, 0); // raw sends are not codec-mediated
+            assert_eq!(c.wire_f64_bytes, 0);
+        }
+
+        // Codec-mediated reductions record logical vs wire bytes exactly.
+        // World = 2, all-zero 8-element buffer: every ring hop moves one
+        // 4-element segment (32 logical bytes); all-reduce is 3 hops per
+        // rank (1 reduce-scatter step + rotation + 1 all-gather step).
+        // Zero-nnz sparse payloads are the 5-byte header alone.
+        for (codec, hop_wire) in [
+            (WireCodec::Dense, 32u64),
+            (WireCodec::Sparse, 5),
+            (WireCodec::Auto, 5),
+            (WireCodec::F32, 5),
+        ] {
+            let counters = run(2, move |c| {
+                let mut buf = vec![0.0f64; 8];
+                c.all_reduce_f64_codec(codec, &mut buf);
+                c.counters()
+            });
+            for c in counters {
+                assert_eq!(c.logical_f64_bytes, 3 * 32, "{codec}");
+                assert_eq!(c.wire_f64_bytes, 3 * hop_wire, "{codec}");
+                assert_eq!(c.bytes_sent, 3 * hop_wire, "{codec}");
+            }
+        }
+
+        // Adaptive switch point: n = 16 ⇒ dense = 128 bytes, sparse =
+        // 5 + 12·nnz. nnz = 10 (125 < 128) still ships sparse; nnz = 11
+        // (137) flips to dense.
+        for (nnz, expected_wire) in [(10usize, 125u64), (11, 128)] {
+            let counters = run(2, move |c| {
+                let mut buf = vec![0.0f64; 16];
+                for (i, slot) in buf.iter_mut().take(nnz).enumerate() {
+                    *slot = 1.0 + i as f64;
+                }
+                c.reduce_to_root_f64_codec(WireCodec::Auto, 0, &mut buf);
+                c.counters()
+            });
+            assert_eq!(counters[1].logical_f64_bytes, 128, "nnz={nnz}");
+            assert_eq!(counters[1].wire_f64_bytes, expected_wire, "nnz={nnz}");
+            assert_eq!(counters[1].bytes_sent, expected_wire, "nnz={nnz}");
+            assert_eq!(counters[0].bytes_sent, 0); // root only receives
+        }
+    }
+
+    #[test]
+    fn lossless_codec_reductions_match_dense_bit_for_bit() {
+        // Integer-valued contributions sum exactly in any order, so the
+        // dense result is the unambiguous reference. ~25% density
+        // exercises sparse payloads; Auto mixes layouts across hops.
+        let len = 37;
+        for world in [1, 2, 3, 5] {
+            let mk = move |rank: usize| -> Vec<f64> {
+                (0..len)
+                    .map(|i| if (i + rank).is_multiple_of(4) { (rank * 100 + i) as f64 } else { 0.0 })
+                    .collect()
+            };
+            let dense = run(world, move |c| {
+                let mut buf = mk(c.rank());
+                c.all_reduce_f64(&mut buf);
+                buf
+            });
+            for codec in [WireCodec::Sparse, WireCodec::Auto] {
+                let got = run(world, move |c| {
+                    let mut buf = mk(c.rank());
+                    c.all_reduce_f64_codec(codec, &mut buf);
+                    buf
+                });
+                assert_eq!(got, dense, "all_reduce {codec} world={world}");
+                let root = run(world, move |c| {
+                    let mut buf = mk(c.rank());
+                    c.reduce_to_root_f64_codec(codec, 0, &mut buf);
+                    buf
+                });
+                assert_eq!(root[0], dense[0], "reduce_to_root {codec} world={world}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_codec_agrees_across_ranks_and_approximates_the_sum() {
+        let len = 19;
+        let got = run(3, move |c| {
+            let mut buf: Vec<f64> = (0..len)
+                .map(|i: usize| {
+                    if i.is_multiple_of(3) { (c.rank() + 1) as f64 * 0.1 + i as f64 } else { 0.0 }
+                })
+                .collect();
+            c.all_reduce_f64_codec(WireCodec::F32, &mut buf);
+            buf
+        });
+        // Lossy, but still deterministic and rank-consistent: every rank's
+        // copy of a segment passed through the same f32 quantization.
+        assert_eq!(got[0], got[1]);
+        assert_eq!(got[0], got[2]);
+        for (i, &v) in got[0].iter().enumerate() {
+            let exact: f64 = if i.is_multiple_of(3) {
+                (1..=3).map(|r| f64::from(r) * 0.1 + i as f64).sum()
+            } else {
+                0.0
+            };
+            let tol = exact.abs().max(1.0) * 1e-5;
+            assert!((v - exact).abs() <= tol, "i={i}: {v} vs {exact}");
         }
     }
 }

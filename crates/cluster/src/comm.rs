@@ -36,6 +36,12 @@ pub struct CommCounters {
     pub messages_sent: u64,
     /// Modelled communication seconds.
     pub comm_seconds: f64,
+    /// Logical (decoded, 8 bytes/element) size of every codec-mediated f64
+    /// payload sent — what the dense wire would have cost.
+    pub logical_f64_bytes: u64,
+    /// Encoded size of those same payloads as actually sent. The ratio
+    /// `logical / wire` is the codec's compression factor.
+    pub wire_f64_bytes: u64,
 }
 
 /// A worker's endpoint into the in-process fabric.
@@ -109,6 +115,24 @@ impl Comm {
         c.comm_seconds += self.cost.message_time(len);
     }
 
+    /// Encodes `vals` under `codec` and sends to `to`, recording the
+    /// logical-vs-wire byte pair (loopback stays free and unrecorded).
+    pub(crate) fn send_f64s(
+        &self,
+        to: usize,
+        tag: u64,
+        codec: crate::wire::WireCodec,
+        vals: &[f64],
+    ) {
+        let payload = crate::wire::encode(codec, vals);
+        if to != self.rank {
+            let mut c = self.counters.borrow_mut();
+            c.logical_f64_bytes += crate::wire::logical_bytes(vals.len());
+            c.wire_f64_bytes += payload.len() as u64;
+        }
+        self.send(to, tag, payload);
+    }
+
     /// Receives the message from `from` with `tag`, blocking until it
     /// arrives. Other messages arriving meanwhile are buffered.
     pub fn recv(&self, from: usize, tag: u64) -> Bytes {
@@ -169,6 +193,8 @@ impl Comm {
         stats.bytes_received += c.bytes_received;
         stats.messages_sent += c.messages_sent;
         stats.comm_seconds += c.comm_seconds;
+        stats.logical_f64_bytes += c.logical_f64_bytes;
+        stats.wire_f64_bytes += c.wire_f64_bytes;
     }
 }
 

@@ -17,6 +17,8 @@
 //!   accounting.
 //! * [`collectives`] — broadcast, gather, all-gather, ring all-reduce, ring
 //!   reduce-scatter (the aggregation methods of §3.1.3).
+//! * [`wire`] — pluggable histogram wire codecs (dense/sparse/f32) with
+//!   adaptive per-message selection, used by the codec-aware collectives.
 //! * [`ps`] — parameter-server-style sharded aggregation (DimBoost, §4.1).
 //! * [`cluster`] — scoped-thread harness running one closure per worker.
 //! * [`stats`] — per-worker phase timers, byte counters, memory gauges.
@@ -27,8 +29,10 @@ pub mod comm;
 pub mod cost;
 pub mod ps;
 pub mod stats;
+pub mod wire;
 
 pub use cluster::{Cluster, WorkerCtx};
 pub use comm::Comm;
 pub use cost::NetworkCostModel;
 pub use stats::{Phase, WorkerStats};
+pub use wire::WireCodec;

@@ -10,19 +10,7 @@
 //! traffic and the single-point bottleneck of gather-to-root (§4.1).
 
 use crate::comm::Comm;
-use bytes::Bytes;
-
-fn f64s_to_bytes(buf: &[f64]) -> Bytes {
-    let mut out = Vec::with_capacity(buf.len() * 8);
-    for v in buf {
-        out.extend_from_slice(&v.to_le_bytes());
-    }
-    Bytes::from(out)
-}
-
-fn bytes_to_f64s(bytes: &Bytes) -> Vec<f64> {
-    bytes.chunks_exact(8).map(|ch| f64::from_le_bytes(ch.try_into().unwrap())).collect()
-}
+use crate::wire::{self, WireCodec};
 
 impl Comm {
     /// Pushes `buf`'s shards to their owning servers and reduces the shard
@@ -32,13 +20,24 @@ impl Comm {
     /// (`ranges.len() == world`); ranges must be disjoint but need not cover
     /// `buf`. Returns the fully reduced values of `ranges[rank]`.
     pub fn ps_push_and_reduce(&self, buf: &[f64], ranges: &[(usize, usize)]) -> Vec<f64> {
+        self.ps_push_and_reduce_codec(WireCodec::Dense, buf, ranges)
+    }
+
+    /// [`Self::ps_push_and_reduce`] with every pushed shard encoded under
+    /// `codec`; the serving rank decode-merges contributions in rank order.
+    pub fn ps_push_and_reduce_codec(
+        &self,
+        codec: WireCodec,
+        buf: &[f64],
+        ranges: &[(usize, usize)],
+    ) -> Vec<f64> {
         assert_eq!(ranges.len(), self.world(), "one range per server");
         let tag = self.alloc_collective_tag();
         let r = self.rank();
         // Push every foreign shard to its server.
         for (server, &(lo, hi)) in ranges.iter().enumerate() {
             if server != r {
-                self.send(server, tag, f64s_to_bytes(&buf[lo..hi]));
+                self.send_f64s(server, tag, codec, &buf[lo..hi]);
             }
         }
         // Serve my shard: start from my local slice, add peers in rank order.
@@ -48,11 +47,7 @@ impl Comm {
             if from == r {
                 continue;
             }
-            let slice = bytes_to_f64s(&self.recv(from, tag));
-            assert_eq!(slice.len(), reduced.len(), "shard length mismatch");
-            for (a, b) in reduced.iter_mut().zip(&slice) {
-                *a += b;
-            }
+            wire::decode_add(&self.recv(from, tag), &mut reduced);
         }
         reduced
     }
@@ -92,6 +87,43 @@ mod tests {
                 assert_eq!(reduced, &expected, "world={world} rank={rank}");
             }
         }
+    }
+
+    #[test]
+    fn ps_codec_matches_dense_and_compresses_sparse_shards() {
+        let world = 3;
+        let len = 30;
+        let mk = move |rank: usize| -> Vec<f64> {
+            (0..len).map(|i| if i % 5 == rank { (i + 1) as f64 } else { 0.0 }).collect()
+        };
+        let mut per_codec = Vec::new();
+        for codec in [WireCodec::Dense, WireCodec::Sparse, WireCodec::Auto] {
+            let mesh = Comm::mesh(world, NetworkCostModel::infinite());
+            let results: Vec<(Vec<f64>, u64)> = std::thread::scope(|s| {
+                let handles: Vec<_> = mesh
+                    .into_iter()
+                    .map(|c| {
+                        s.spawn(move || {
+                            let buf = mk(c.rank());
+                            let ranges: Vec<_> =
+                                (0..world).map(|w| segment_bounds(len, world, w)).collect();
+                            let reduced = c.ps_push_and_reduce_codec(codec, &buf, &ranges);
+                            (reduced, c.counters().wire_f64_bytes)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            per_codec.push(results);
+        }
+        // Lossless codecs reduce to bit-identical shards...
+        let shards = |r: &[(Vec<f64>, u64)]| r.iter().map(|x| x.0.clone()).collect::<Vec<_>>();
+        assert_eq!(shards(&per_codec[0]), shards(&per_codec[1]));
+        assert_eq!(shards(&per_codec[0]), shards(&per_codec[2]));
+        // ...while the 20%-dense shards ship far fewer wire bytes.
+        let wire = |r: &[(Vec<f64>, u64)]| r.iter().map(|x| x.1).sum::<u64>();
+        assert!(wire(&per_codec[1]) * 2 < wire(&per_codec[0]), "sparse should be < half");
+        assert_eq!(wire(&per_codec[1]), wire(&per_codec[2])); // auto picks sparse here
     }
 
     #[test]

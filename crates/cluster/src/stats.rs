@@ -91,6 +91,16 @@ pub struct WorkerStats {
     pub parallel_wall_seconds: f64,
     /// Summed per-thread busy seconds inside multi-threaded sections.
     pub parallel_busy_seconds: f64,
+    /// Logical (decoded f64) bytes of codec-mediated collective payloads —
+    /// what the dense wire would have sent.
+    pub logical_f64_bytes: u64,
+    /// Encoded bytes actually sent for those payloads.
+    pub wire_f64_bytes: u64,
+    /// Per-tree-layer logical bytes of histogram aggregation (index =
+    /// layer − 1, summed across trees); see [`WorkerStats::record_layer_bytes`].
+    pub layer_logical_bytes: Vec<u64>,
+    /// Per-tree-layer wire bytes of histogram aggregation.
+    pub layer_wire_bytes: Vec<u64>,
 }
 
 impl WorkerStats {
@@ -128,6 +138,28 @@ impl WorkerStats {
         }
     }
 
+    /// Adds one layer's histogram-aggregation byte pair (0-based layer index
+    /// into the growing loop; the root layer never aggregates). Vectors grow
+    /// on demand so trees of different depth can share one stats object.
+    pub fn record_layer_bytes(&mut self, layer: usize, logical: u64, wire: u64) {
+        if self.layer_logical_bytes.len() <= layer {
+            self.layer_logical_bytes.resize(layer + 1, 0);
+            self.layer_wire_bytes.resize(layer + 1, 0);
+        }
+        self.layer_logical_bytes[layer] += logical;
+        self.layer_wire_bytes[layer] += wire;
+    }
+
+    /// Compression ratio of the wire codec on this worker's codec-mediated
+    /// payloads: logical / wire (1.0 when nothing codec-mediated was sent).
+    pub fn wire_compression(&self) -> f64 {
+        if self.wire_f64_bytes > 0 {
+            self.logical_f64_bytes as f64 / self.wire_f64_bytes as f64
+        } else {
+            1.0
+        }
+    }
+
     /// Merges another worker's stats (for averaging across runs).
     pub fn merge(&mut self, other: &WorkerStats) {
         for (a, b) in self.comp_seconds.iter_mut().zip(&other.comp_seconds) {
@@ -143,6 +175,13 @@ impl WorkerStats {
         self.threads = self.threads.max(other.threads);
         self.parallel_wall_seconds += other.parallel_wall_seconds;
         self.parallel_busy_seconds += other.parallel_busy_seconds;
+        self.logical_f64_bytes += other.logical_f64_bytes;
+        self.wire_f64_bytes += other.wire_f64_bytes;
+        for (layer, (&logical, &wireb)) in
+            other.layer_logical_bytes.iter().zip(&other.layer_wire_bytes).enumerate()
+        {
+            self.record_layer_bytes(layer, logical, wireb);
+        }
     }
 }
 
@@ -188,6 +227,45 @@ impl ClusterStats {
     /// Slowest worker's computation within one phase.
     pub fn phase_seconds(&self, phase: Phase) -> f64 {
         self.workers.iter().map(|w| w.comp(phase)).fold(0.0, f64::max)
+    }
+
+    /// Total logical (decoded f64) bytes of codec-mediated payloads across
+    /// the cluster — what the dense wire would have sent.
+    pub fn total_logical_f64_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.logical_f64_bytes).sum()
+    }
+
+    /// Total encoded bytes actually sent for codec-mediated payloads.
+    pub fn total_wire_f64_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.wire_f64_bytes).sum()
+    }
+
+    /// Cluster-wide compression ratio of the wire codec: logical / wire
+    /// (1.0 when nothing codec-mediated was sent).
+    pub fn wire_compression(&self) -> f64 {
+        let wireb = self.total_wire_f64_bytes();
+        if wireb > 0 {
+            self.total_logical_f64_bytes() as f64 / wireb as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// Per-tree-layer `(logical, wire)` histogram-aggregation bytes summed
+    /// across workers; index = layer position in the growing loop.
+    pub fn layer_wire_bytes(&self) -> Vec<(u64, u64)> {
+        let depth =
+            self.workers.iter().map(|w| w.layer_logical_bytes.len()).max().unwrap_or(0);
+        let mut out = vec![(0u64, 0u64); depth];
+        for w in &self.workers {
+            for (layer, (&logical, &wireb)) in
+                w.layer_logical_bytes.iter().zip(&w.layer_wire_bytes).enumerate()
+            {
+                out[layer].0 += logical;
+                out[layer].1 += wireb;
+            }
+        }
+        out
     }
 
     /// Cluster-wide intra-worker parallel speedup: total busy seconds over
@@ -280,6 +358,36 @@ mod tests {
         assert_eq!(w.threads, 4); // max, not sum
         let c = ClusterStats::new(vec![w]);
         assert!((c.parallel_speedup() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wire_accounting_ratios_and_merge() {
+        assert_eq!(WorkerStats::default().wire_compression(), 1.0); // nothing codec-mediated
+        let mut w = WorkerStats {
+            logical_f64_bytes: 800,
+            wire_f64_bytes: 200,
+            ..WorkerStats::default()
+        };
+        w.record_layer_bytes(0, 500, 100);
+        w.record_layer_bytes(2, 300, 100); // skipping a layer zero-fills it
+        assert_eq!(w.wire_compression(), 4.0);
+        assert_eq!(w.layer_logical_bytes, vec![500, 0, 300]);
+
+        let mut other = WorkerStats {
+            logical_f64_bytes: 200,
+            wire_f64_bytes: 50,
+            ..WorkerStats::default()
+        };
+        other.record_layer_bytes(1, 200, 50);
+        w.merge(&other);
+        assert_eq!(w.logical_f64_bytes, 1000);
+        assert_eq!(w.layer_logical_bytes, vec![500, 200, 300]);
+
+        let c = ClusterStats::new(vec![w, other]);
+        assert_eq!(c.total_logical_f64_bytes(), 1200);
+        assert_eq!(c.total_wire_f64_bytes(), 300);
+        assert_eq!(c.wire_compression(), 4.0);
+        assert_eq!(c.layer_wire_bytes(), vec![(500, 100), (400, 100), (300, 100)]);
     }
 
     #[test]

@@ -3,6 +3,70 @@
 use crate::loss::Objective;
 use serde::{Deserialize, Serialize};
 
+/// Histogram wire codec for distributed aggregation (§3.1.3 traffic).
+///
+/// Selects how flat f64 histogram buffers are serialized by the
+/// codec-aware collectives in `gbdt-cluster`. The lossless codecs
+/// (`Dense`, `Sparse`, `Auto`) are guaranteed to produce bit-identical
+/// ensembles; `F32` is an opt-in lossy mode that halves payload width the
+/// way DimBoost's low-precision compressed histograms do (§4.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WireCodec {
+    /// Lossless raw little-endian f64 payloads — the legacy wire format.
+    #[default]
+    Dense,
+    /// Lossless COO-style `(u32 bin index, f64 value)` pairs for the
+    /// nonzero bins only (Block-distributed GBT style).
+    Sparse,
+    /// Per-message choice between `Dense` and `Sparse` by measured
+    /// density against the exact break-even byte count.
+    Auto,
+    /// Lossy f32 payloads (sparsity-aware: picks sparse or dense f32
+    /// pairs per message). Changes the trained ensemble; opt-in only.
+    F32,
+}
+
+impl WireCodec {
+    /// All codecs, in display order.
+    pub const ALL: [WireCodec; 4] =
+        [WireCodec::Dense, WireCodec::Sparse, WireCodec::Auto, WireCodec::F32];
+
+    /// Whether decoded payloads are bit-identical to the encoder's input.
+    pub fn is_lossless(self) -> bool {
+        !matches!(self, WireCodec::F32)
+    }
+
+    /// Short label for reports and CLI echo.
+    pub fn label(self) -> &'static str {
+        match self {
+            WireCodec::Dense => "dense",
+            WireCodec::Sparse => "sparse",
+            WireCodec::Auto => "auto",
+            WireCodec::F32 => "f32",
+        }
+    }
+}
+
+impl std::str::FromStr for WireCodec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(WireCodec::Dense),
+            "sparse" => Ok(WireCodec::Sparse),
+            "auto" => Ok(WireCodec::Auto),
+            "f32" => Ok(WireCodec::F32),
+            other => Err(format!("unknown wire codec '{other}' (expected dense|sparse|auto|f32)")),
+        }
+    }
+}
+
+impl std::fmt::Display for WireCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// GBDT training configuration, using the paper's symbols.
 ///
 /// Defaults follow §5.1: `T = 100` trees, `L = 8` layers, `q = 20` candidate
@@ -32,6 +96,11 @@ pub struct TrainConfig {
     /// (`available_parallelism() / W`, clamped to ≥ 1). Results are
     /// bit-identical for every value — see [`crate::parallel`].
     pub threads: usize,
+    /// Histogram wire codec for distributed aggregation. All lossless
+    /// codecs (everything but [`WireCodec::F32`]) train bit-identical
+    /// ensembles; trainers that never ship histograms (the vertical
+    /// quadrants) ignore it entirely.
+    pub wire: WireCodec,
 }
 
 impl Default for TrainConfig {
@@ -47,6 +116,7 @@ impl Default for TrainConfig {
             min_node_instances: 2,
             objective: Objective::Logistic,
             threads: 0,
+            wire: WireCodec::Dense,
         }
     }
 }
@@ -154,6 +224,12 @@ impl TrainConfigBuilder {
         self
     }
 
+    /// Sets the histogram wire codec (default [`WireCodec::Dense`]).
+    pub fn wire(mut self, wire: WireCodec) -> Self {
+        self.cfg.wire = wire;
+        self
+    }
+
     /// Finalizes, validating all parameters.
     pub fn build(self) -> Result<TrainConfig, String> {
         self.cfg.validate()?;
@@ -196,6 +272,29 @@ mod tests {
     #[test]
     fn default_thread_budget_is_auto() {
         assert_eq!(TrainConfig::default().threads, 0);
+    }
+
+    #[test]
+    fn default_wire_codec_is_dense() {
+        assert_eq!(TrainConfig::default().wire, WireCodec::Dense);
+        assert!(WireCodec::Dense.is_lossless());
+        assert!(WireCodec::Auto.is_lossless());
+        assert!(!WireCodec::F32.is_lossless());
+    }
+
+    #[test]
+    fn wire_codec_parses_cli_names() {
+        for codec in WireCodec::ALL {
+            assert_eq!(codec.label().parse::<WireCodec>().unwrap(), codec);
+            assert_eq!(format!("{codec}"), codec.label());
+        }
+        assert!("gzip".parse::<WireCodec>().is_err());
+    }
+
+    #[test]
+    fn builder_sets_wire_codec() {
+        let cfg = TrainConfig::builder().wire(WireCodec::Auto).build().unwrap();
+        assert_eq!(cfg.wire, WireCodec::Auto);
     }
 
     #[test]

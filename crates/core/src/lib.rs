@@ -36,7 +36,7 @@ pub mod split;
 pub mod tree;
 
 pub use binning::BinCuts;
-pub use config::TrainConfig;
+pub use config::{TrainConfig, WireCodec};
 pub use gradients::{GradBuffer, GradPair};
 pub use histogram::NodeHistogram;
 pub use loss::Objective;

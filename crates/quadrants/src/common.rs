@@ -204,6 +204,22 @@ pub fn shard_dataset(
     .expect("shard of a valid dataset is valid")
 }
 
+/// Records the logical-vs-wire histogram-aggregation bytes this worker
+/// moved during one tree layer, as the delta from a counters snapshot taken
+/// just before the layer's aggregation calls.
+pub fn record_layer_wire_bytes(
+    ctx: &mut gbdt_cluster::WorkerCtx,
+    layer: usize,
+    before: gbdt_cluster::comm::CommCounters,
+) {
+    let now = ctx.comm.counters();
+    ctx.stats.record_layer_bytes(
+        layer,
+        now.logical_f64_bytes - before.logical_f64_bytes,
+        now.wire_f64_bytes - before.wire_f64_bytes,
+    );
+}
+
 /// All-reduces per-class node statistics in place (horizontal root stats).
 pub fn all_reduce_stats(ctx: &mut gbdt_cluster::WorkerCtx, stats: &mut NodeStats) {
     let c = stats.n_outputs();

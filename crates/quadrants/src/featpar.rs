@@ -8,6 +8,9 @@
 //! verdict: fast on small data (no histogram aggregation, no bitmap
 //! traffic) but "impractical for large-scale workloads" because per-worker
 //! memory holds the entire dataset — which our `data_bytes` gauge reports.
+//! With no histogram aggregation there is nothing for [`TrainConfig::wire`]
+//! to encode: every codec (including the lossy f32) trains the identical
+//! ensemble here.
 
 use crate::common::{
     subtraction_plan, worker_threads, DistTrainResult, Frontier, TreeStat, TreeTracker,

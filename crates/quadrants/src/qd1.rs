@@ -11,8 +11,8 @@
 //! split redundantly (the leader-based variant has identical traffic shape).
 
 use crate::common::{
-    all_reduce_stats, shard_dataset, worker_threads, DistTrainResult, Frontier, TreeStat,
-    TreeTracker,
+    all_reduce_stats, record_layer_wire_bytes, shard_dataset, worker_threads, DistTrainResult,
+    Frontier, TreeStat, TreeTracker,
 };
 use gbdt_cluster::{Cluster, Phase, WorkerCtx};
 use gbdt_core::histogram::{add_instance_to_feature_slice, histogram_size_bytes, NodeHistogram};
@@ -134,12 +134,16 @@ fn train_worker(
                 );
             });
 
-            // All-reduce each node's histogram; every worker then finds the
-            // same best split.
+            // All-reduce each node's histogram under the configured wire
+            // codec; every worker then finds the same best split. Control
+            // traffic (counts, root stats) stays dense — only histogram
+            // payloads are codec-mediated.
+            let wire_before = ctx.comm.counters();
             for &node in &frontier.nodes {
                 let hist = hists[(node - layer_base) as usize].as_mut().expect("allocated");
-                ctx.comm.all_reduce_f64(hist.as_mut_slice());
+                ctx.comm.all_reduce_f64_codec(config.wire, hist.as_mut_slice());
             }
+            record_layer_wire_bytes(ctx, layer, wire_before);
 
             let decisions: Vec<Option<Split>> = ctx.time(Phase::SplitFind, || {
                 frontier

@@ -15,8 +15,9 @@
 //! server-side split finding).
 
 use crate::common::{
-    all_reduce_stats, choose_global_best, shard_dataset, subtraction_plan, worker_threads,
-    Aggregation, DistTrainResult, Frontier, TreeStat, TreeTracker,
+    all_reduce_stats, choose_global_best, record_layer_wire_bytes, shard_dataset,
+    subtraction_plan, worker_threads, Aggregation, DistTrainResult, Frontier, TreeStat,
+    TreeTracker,
 };
 use gbdt_cluster::collectives::segment_bounds;
 use gbdt_cluster::{Cluster, Phase, WorkerCtx};
@@ -164,23 +165,30 @@ fn train_worker(
                 }
             });
 
-            // Aggregate local histograms into global ones.
+            // Aggregate local histograms into global ones under the
+            // configured wire codec (control traffic stays dense).
+            let wire_before = ctx.comm.counters();
             match aggregation {
                 Aggregation::AllReduce => {
                     for &node in &build_nodes {
                         let hist = pool.get_mut(node).expect("just built");
-                        ctx.comm.all_reduce_f64(hist.as_mut_slice());
+                        ctx.comm.all_reduce_f64_codec(config.wire, hist.as_mut_slice());
                     }
                 }
                 Aggregation::ReduceScatter | Aggregation::ParameterServer => {
                     for &node in &build_nodes {
                         let hist = pool.get_mut(node).expect("just built");
-                        let reduced = ctx.comm.ps_push_and_reduce(hist.as_slice(), &elem_ranges);
+                        let reduced = ctx.comm.ps_push_and_reduce_codec(
+                            config.wire,
+                            hist.as_slice(),
+                            &elem_ranges,
+                        );
                         let (lo, hi) = elem_ranges[rank];
                         hist.as_mut_slice()[lo..hi].copy_from_slice(&reduced);
                     }
                 }
             }
+            record_layer_wire_bytes(ctx, layer, wire_before);
             ctx.time(Phase::HistogramBuild, || {
                 for &(parent, built, sibling) in &derive {
                     pool.subtract_sibling(parent, built, sibling);

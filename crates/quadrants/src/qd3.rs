@@ -14,7 +14,9 @@
 //!
 //! Communication is identical to QD4 (local best splits + placement
 //! bitmaps): the two quadrants differ *only* in storage, which is exactly
-//! the §5.2.2 controlled comparison.
+//! the §5.2.2 controlled comparison. Neither ships histogram payloads, so
+//! [`TrainConfig::wire`] is accepted but has nothing to encode here — all
+//! wire codecs (including the lossy f32) train the identical ensemble.
 
 use crate::common::{
     shard_dataset, subtraction_plan, worker_threads, DistTrainResult, Frontier, TreeStat,

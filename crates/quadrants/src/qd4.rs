@@ -14,7 +14,10 @@
 //!   which every worker applies to its identical node-to-instance index.
 //!
 //! Communication per layer is therefore `O(N/8 · W)` regardless of D, q, C,
-//! or depth — the crux of the paper's Table 1.
+//! or depth — the crux of the paper's Table 1. Because no histogram ever
+//! crosses the wire, [`TrainConfig::wire`] is accepted but has nothing to
+//! encode: every codec (including the lossy f32) trains the identical
+//! ensemble, which `tests/wire_determinism.rs` pins.
 
 use crate::common::{
     shard_dataset, subtraction_plan, worker_threads, DistTrainResult, Frontier, TreeStat,

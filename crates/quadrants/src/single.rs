@@ -4,6 +4,8 @@
 //! mathematics every distributed quadrant runs, without a cluster. All
 //! cross-quadrant equivalence tests compare against this implementation:
 //! on the same binned data every trainer must grow the same trees.
+//! There is no wire at all, so [`TrainConfig::wire`] is trivially a no-op:
+//! every codec trains the identical ensemble.
 
 use crate::common::{subtraction_plan, worker_threads, Frontier};
 use gbdt_core::histogram::HistogramPool;

@@ -7,6 +7,10 @@
 //! is node splitting: every split must repartition **all** local columns —
 //! the `O(D)`-fold index-update cost that makes this design "only applicable
 //! for low-dimensional datasets" (§3.2.3).
+//!
+//! Like every vertical trainer, no histogram ever crosses the wire, so
+//! [`TrainConfig::wire`] is accepted but has nothing to encode — all wire
+//! codecs (including the lossy f32) train the identical ensemble.
 
 use crate::common::{
     shard_dataset, subtraction_plan, worker_threads, DistTrainResult, Frontier, TreeStat,

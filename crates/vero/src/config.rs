@@ -1,7 +1,7 @@
 //! Vero system configuration.
 
 use gbdt_cluster::NetworkCostModel;
-use gbdt_core::{Objective, TrainConfig};
+use gbdt_core::{Objective, TrainConfig, WireCodec};
 use gbdt_partition::transform::{TransformConfig, WireEncoding};
 use gbdt_partition::GroupingStrategy;
 
@@ -104,6 +104,15 @@ impl VeroConfigBuilder {
         self
     }
 
+    /// Sets the histogram wire codec (default: dense). Vero's trainer never
+    /// aggregates histograms, so this only matters when the same config
+    /// drives one of the horizontal quadrants in a comparison run; every
+    /// codec trains the identical Vero ensemble.
+    pub fn wire(mut self, wire: WireCodec) -> Self {
+        self.cfg.train.wire = wire;
+        self
+    }
+
     /// Sets the column grouping strategy (default: greedy balanced).
     pub fn grouping(mut self, strategy: GroupingStrategy) -> Self {
         self.cfg.transform.strategy = strategy;
@@ -149,6 +158,13 @@ mod tests {
         let cfg = VeroConfig::builder().threads(4).build().unwrap();
         assert_eq!(cfg.train.threads, 4);
         assert_eq!(VeroConfig::builder().build().unwrap().train.threads, 0); // auto
+    }
+
+    #[test]
+    fn wire_codec_flows_into_train_config() {
+        let cfg = VeroConfig::builder().wire(WireCodec::Auto).build().unwrap();
+        assert_eq!(cfg.train.wire, WireCodec::Auto);
+        assert_eq!(VeroConfig::builder().build().unwrap().train.wire, WireCodec::Dense);
     }
 
     #[test]
