@@ -3,13 +3,16 @@
 //! Supported forms: `--key value` and `--flag`. Unknown keys are rejected so
 //! typos fail loudly.
 
+use gbdt_cluster::FaultPlan;
 use gbdt_core::WireCodec;
 use std::collections::HashMap;
 
 /// Value keys every experiment binary accepts without listing them:
-/// `--threads N` sets the intra-worker thread budget (0 = auto) and
-/// `--wire {dense,sparse,auto,f32}` picks the histogram wire codec.
-const UNIVERSAL_VALUE_KEYS: [&str; 2] = ["threads", "wire"];
+/// `--threads N` sets the intra-worker thread budget (0 = auto),
+/// `--wire {dense,sparse,auto,f32}` picks the histogram wire codec, and
+/// `--faults seed:spec` injects a deterministic fault plan (e.g.
+/// `--faults "7:drop=0.05,dup=0.02,crash=1@3"`).
+const UNIVERSAL_VALUE_KEYS: [&str; 3] = ["threads", "wire", "faults"];
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone)]
@@ -86,6 +89,14 @@ impl Args {
     /// the legacy bit-exact format).
     pub fn wire(&self) -> WireCodec {
         self.get_or("wire", WireCodec::Dense)
+    }
+
+    /// The `--faults seed:spec` fault-injection plan every binary accepts
+    /// (default: none — fault-free execution).
+    pub fn faults(&self) -> Option<FaultPlan> {
+        self.get("faults").map(|spec| {
+            FaultPlan::parse(spec).unwrap_or_else(|e| panic!("bad --faults '{spec}': {e}"))
+        })
     }
 }
 

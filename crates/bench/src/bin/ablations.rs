@@ -10,7 +10,11 @@
 //!   close the gap on low-dimensional data);
 //! * **histogram wire codec** — dense vs sparse vs adaptive vs lossy-f32
 //!   aggregation payloads on sparse high-dimensional data (DESIGN.md §4.7),
-//!   reporting logical vs wire bytes, compression ratio, and wall-time.
+//!   reporting logical vs wire bytes, compression ratio, and wall-time;
+//! * **fault recovery** — overhead of the retry/ack protocol and per-tree
+//!   checkpoint replay under a seeded chaos plan (drops + duplicates +
+//!   one mid-tree crash) vs the fault-free baseline on the lab-cluster
+//!   link model, asserting the recovered ensemble is bit-identical.
 
 use gbdt_bench::args::Args;
 use gbdt_bench::output::ExperimentWriter;
@@ -188,6 +192,44 @@ fn main() {
             "comm_s_per_tree": result.mean_tree_comm_seconds(),
             "identical_to_dense": identical,
         }));
+    }
+    // --- 5. Fault recovery overhead ---
+    // Same trainer, same data, same lab-cluster links — once fault-free,
+    // once under a seeded chaos plan. The headline guarantee: the faulted
+    // run recovers to the *bit-identical* ensemble; the rows quantify what
+    // that recovery costs in modelled time and extra bytes.
+    w.section("fault recovery: retry + per-tree checkpoint vs fault-free (QD2, lab cluster)");
+    let chaos = gbdt_cluster::FaultPlan::parse("1031:drop=0.02,dup=0.02,crash=1@1.2")
+        .expect("valid chaos spec");
+    let mut baseline: Option<(f64, u64, gbdt_core::GbdtModel)> = None;
+    for (label, faults) in [("fault-free", None), ("chaos", Some(chaos))] {
+        let cluster = Cluster::with_cost(workers, NetworkCostModel::lab_cluster())
+            .with_faults(faults);
+        let result = System::Qd2AllReduce.run(&cluster, &ds, &cfg);
+        let bytes = result.stats.total_bytes_sent();
+        let wall = result.total_seconds();
+        let identical = match &baseline {
+            None => {
+                baseline = Some((wall, bytes, result.model.clone()));
+                true
+            }
+            Some((_, _, m)) => *m == result.model,
+        };
+        let (base_wall, base_bytes, _) = baseline.as_ref().expect("baseline recorded");
+        w.row(json!({
+            "mode": label,
+            "s_per_tree": result.mean_tree_seconds(),
+            "total_s": wall,
+            "time_overhead": wall / base_wall.max(1e-12),
+            "bytes_mb": bytes as f64 / 1e6,
+            "byte_overhead": bytes as f64 / (*base_bytes).max(1) as f64,
+            "retries": result.stats.total_retries(),
+            "duplicates_dropped": result.stats.total_duplicates_dropped(),
+            "recoveries": result.stats.recoveries,
+            "recovery_s": result.stats.recovery_seconds,
+            "identical_to_fault_free": identical,
+        }));
+        assert!(identical, "chaos run must recover the fault-free ensemble");
     }
     println!("\nDone. Rows written to results/ablations.jsonl");
 }

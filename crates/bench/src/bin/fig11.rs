@@ -10,7 +10,7 @@
 
 use gbdt_bench::args::Args;
 use gbdt_bench::datasets;
-use gbdt_bench::endtoend::{config_for, run_system};
+use gbdt_bench::endtoend::{add_fault_columns, config_for, run_system};
 use gbdt_bench::output::ExperimentWriter;
 use gbdt_bench::systems::END_TO_END;
 use gbdt_cluster::NetworkCostModel;
@@ -87,6 +87,7 @@ fn main() {
                 workers,
                 NetworkCostModel::lab_cluster(),
                 &cfg,
+                args.faults(),
             );
             // Print the curve (downsampled to <= 10 points for the table;
             // the JSONL row carries every point).
@@ -98,7 +99,7 @@ fn main() {
                 .filter(|(i, _)| i % step == 0 || *i + 1 == run.curve.len())
                 .map(|(_, p)| json!({"t": p.seconds, "metric": p.eval.headline()}))
                 .collect();
-            w.row(json!({
+            let mut row = json!({
                 "dataset": name,
                 "system": run.system,
                 "s_per_tree": run.seconds_per_tree,
@@ -106,7 +107,11 @@ fn main() {
                 "comm_s": run.comm_per_tree,
                 "final_metric": run.final_metric,
                 "bytes_sent": run.bytes_sent,
-            }));
+            });
+            if args.faults().is_some() {
+                add_fault_columns(&mut row, &run);
+            }
+            w.row(row);
             w.row_silent(json!({
                 "dataset": name,
                 "system": run.system,

@@ -9,7 +9,7 @@
 
 use gbdt_bench::args::Args;
 use gbdt_bench::datasets;
-use gbdt_bench::endtoend::{config_for, run_system};
+use gbdt_bench::endtoend::{add_fault_columns, config_for, run_system};
 use gbdt_bench::output::ExperimentWriter;
 use gbdt_bench::systems::System;
 use gbdt_cluster::NetworkCostModel;
@@ -58,9 +58,10 @@ fn main() {
                 workers,
                 NetworkCostModel::production_cluster(),
                 &cfg,
+                args.faults(),
             );
             let last = run.curve.last().cloned();
-            w.row(json!({
+            let mut row = json!({
                 "dataset": name,
                 "system": run.system,
                 "s_per_tree": run.seconds_per_tree,
@@ -68,7 +69,11 @@ fn main() {
                 "comm_s": run.comm_per_tree,
                 "final_metric": run.final_metric,
                 "total_s": last.map(|p| p.seconds).unwrap_or(0.0),
-            }));
+            });
+            if args.faults().is_some() {
+                add_fault_columns(&mut row, &run);
+            }
+            w.row(row);
             w.row_silent(json!({
                 "dataset": name,
                 "system": run.system,

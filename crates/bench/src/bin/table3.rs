@@ -46,6 +46,7 @@ fn main() {
         let multiclass = full.n_classes > 2;
 
         let mut seconds: Vec<(System, f64)> = Vec::new();
+        let (mut retries, mut recoveries) = (0u64, 0u64);
         for &system in END_TO_END {
             if multiclass && !system.supports_multiclass() {
                 continue;
@@ -57,7 +58,10 @@ fn main() {
                 workers,
                 NetworkCostModel::lab_cluster(),
                 &cfg,
+                args.faults(),
             );
+            retries += run.retries;
+            recoveries += run.recoveries;
             seconds.push((system, run.seconds_per_tree));
         }
         let vero = seconds
@@ -72,14 +76,23 @@ fn main() {
                 .map(|(_, t)| json!(t / vero))
                 .unwrap_or(json!("-"))
         };
-        w.row(json!({
+        let mut row = json!({
             "dataset": name,
             "XGBoost": ratio(System::XgboostLike),
             "LightGBM": ratio(System::LightGbmLike),
             "DimBoost": ratio(System::DimBoostLike),
             "Vero": 1.0,
             "vero_s_per_tree": vero,
-        }));
+        });
+        if args.faults().is_some() {
+            // Per-tree ratios aggregate across systems, so the recovery
+            // counters do too (summed over the dataset's line-up).
+            if let serde_json::Value::Object(m) = &mut row {
+                m.insert("retries".into(), json!(retries));
+                m.insert("recoveries".into(), json!(recoveries));
+            }
+        }
+        w.row(row);
     }
     println!("\nDone. Rows written to results/table3.jsonl");
 }

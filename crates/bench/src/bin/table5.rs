@@ -28,7 +28,8 @@ fn run_encoding(
     let cluster = Cluster::new(workers);
     let (outputs, _) = cluster.run(|ctx| {
         let shard = shard_dataset(full, partition, ctx.rank());
-        let out = horizontal_to_vertical(ctx, &shard, partition, &cfg);
+        let out =
+            horizontal_to_vertical(ctx, &shard, partition, &cfg).expect("fault-free transform");
         out.report
     });
     let sketch = outputs.iter().map(|r| r.sketch_seconds).fold(0.0, f64::max);

@@ -1,7 +1,7 @@
 //! End-to-end run machinery shared by Figures 11–12 and Tables 3–4.
 
 use crate::systems::System;
-use gbdt_cluster::{Cluster, NetworkCostModel};
+use gbdt_cluster::{Cluster, FaultPlan, NetworkCostModel};
 use gbdt_core::{Objective, TrainConfig};
 use gbdt_data::dataset::Dataset;
 use gbdt_quadrants::TreeStat;
@@ -25,6 +25,15 @@ pub struct SystemRun {
     pub final_metric: f64,
     /// Total bytes sent cluster-wide.
     pub bytes_sent: u64,
+    /// Point-to-point send retries triggered by injected drops (0 when
+    /// fault-free).
+    pub retries: u64,
+    /// Duplicate envelopes discarded at intake (0 when fault-free).
+    pub duplicates_dropped: u64,
+    /// Worker-crash recoveries (checkpoint restarts; 0 when fault-free).
+    pub recoveries: u64,
+    /// Modelled seconds spent replaying work after crashes.
+    pub recovery_seconds: f64,
 }
 
 /// Derives the objective a dataset calls for.
@@ -44,8 +53,9 @@ pub fn run_system(
     workers: usize,
     network: NetworkCostModel,
     config: &TrainConfig,
+    faults: Option<FaultPlan>,
 ) -> SystemRun {
-    let cluster = Cluster::with_cost(workers, network);
+    let cluster = Cluster::with_cost(workers, network).with_faults(faults);
     let result = system.run(&cluster, train, config);
     let outcome = vero::TrainOutcome {
         model: vero::system::VeroModel { inner: result.model },
@@ -62,6 +72,22 @@ pub fn run_system(
         curve,
         final_metric,
         bytes_sent: outcome.stats.total_bytes_sent(),
+        retries: outcome.stats.total_retries(),
+        duplicates_dropped: outcome.stats.total_duplicates_dropped(),
+        recoveries: outcome.stats.recoveries,
+        recovery_seconds: outcome.stats.recovery_seconds,
+    }
+}
+
+/// Appends the fault-recovery counters to a report row. The bench binaries
+/// call this only when a `--faults` plan is active, so fault-free reports
+/// keep their columns byte-for-byte unchanged.
+pub fn add_fault_columns(row: &mut serde_json::Value, run: &SystemRun) {
+    if let serde_json::Value::Object(m) = row {
+        m.insert("retries".into(), serde_json::json!(run.retries));
+        m.insert("duplicates_dropped".into(), serde_json::json!(run.duplicates_dropped));
+        m.insert("recoveries".into(), serde_json::json!(run.recoveries));
+        m.insert("recovery_s".into(), serde_json::json!(run.recovery_seconds));
     }
 }
 
@@ -116,6 +142,7 @@ mod tests {
             2,
             NetworkCostModel::lab_cluster(),
             &cfg,
+            None,
         );
         assert_eq!(run.curve.len(), 4);
         assert!(run.seconds_per_tree > 0.0);

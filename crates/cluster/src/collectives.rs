@@ -13,8 +13,13 @@
 //! and merging in the same deterministic rank/segment order. The legacy
 //! methods are the [`WireCodec::Dense`] special case, so byte counts of
 //! existing callers are unchanged.
+//!
+//! Every collective returns `Result<_, CommError>`: a cancelled run, a
+//! receive timeout, or an exhausted retry budget surfaces as a typed error
+//! at the collective boundary instead of a panic deep in the fabric.
 
 use crate::comm::Comm;
+use crate::fault::CommError;
 use crate::wire::{self, WireCodec};
 use bytes::Bytes;
 
@@ -37,21 +42,21 @@ pub fn segment_bounds(len: usize, world: usize, seg: usize) -> (usize, usize) {
 
 impl Comm {
     /// Synchronizes all ranks.
-    pub fn barrier(&self) {
-        self.all_gather(Bytes::new());
+    pub fn barrier(&self) -> Result<(), CommError> {
+        self.all_gather(Bytes::new()).map(|_| ())
     }
 
     /// Broadcasts `payload` (significant at `root`) to every rank; returns
     /// the received payload everywhere.
-    pub fn broadcast(&self, root: usize, payload: Bytes) -> Bytes {
+    pub fn broadcast(&self, root: usize, payload: Bytes) -> Result<Bytes, CommError> {
         let tag = self.alloc_collective_tag();
         if self.rank() == root {
             for to in 0..self.world() {
                 if to != root {
-                    self.send(to, tag, payload.clone());
+                    self.send(to, tag, payload.clone())?;
                 }
             }
-            payload
+            Ok(payload)
         } else {
             self.recv(root, tag)
         }
@@ -59,7 +64,7 @@ impl Comm {
 
     /// Gathers every rank's payload at `root` (rank order). Non-roots get
     /// `None`.
-    pub fn gather(&self, root: usize, payload: Bytes) -> Option<Vec<Bytes>> {
+    pub fn gather(&self, root: usize, payload: Bytes) -> Result<Option<Vec<Bytes>>, CommError> {
         let tag = self.alloc_collective_tag();
         if self.rank() == root {
             let mut out = Vec::with_capacity(self.world());
@@ -67,22 +72,22 @@ impl Comm {
                 if from == root {
                     out.push(payload.clone());
                 } else {
-                    out.push(self.recv(from, tag));
+                    out.push(self.recv(from, tag)?);
                 }
             }
-            Some(out)
+            Ok(Some(out))
         } else {
-            self.send(root, tag, payload);
-            None
+            self.send(root, tag, payload)?;
+            Ok(None)
         }
     }
 
     /// All ranks exchange payloads; returns all of them in rank order.
-    pub fn all_gather(&self, payload: Bytes) -> Vec<Bytes> {
+    pub fn all_gather(&self, payload: Bytes) -> Result<Vec<Bytes>, CommError> {
         let tag = self.alloc_collective_tag();
         for to in 0..self.world() {
             if to != self.rank() {
-                self.send(to, tag, payload.clone());
+                self.send(to, tag, payload.clone())?;
             }
         }
         let mut out = Vec::with_capacity(self.world());
@@ -90,63 +95,74 @@ impl Comm {
             if from == self.rank() {
                 out.push(payload.clone());
             } else {
-                out.push(self.recv(from, tag));
+                out.push(self.recv(from, tag)?);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Reduces (element-wise sum) `buf` to `root` in rank order — the
     /// gather-style aggregation whose single-point bottleneck DimBoost's
     /// parameter server avoids (§4.1). Non-roots keep their input.
-    pub fn reduce_to_root_f64(&self, root: usize, buf: &mut [f64]) {
-        self.reduce_to_root_f64_codec(WireCodec::Dense, root, buf);
+    pub fn reduce_to_root_f64(&self, root: usize, buf: &mut [f64]) -> Result<(), CommError> {
+        self.reduce_to_root_f64_codec(WireCodec::Dense, root, buf)
     }
 
     /// [`Self::reduce_to_root_f64`] with payloads encoded under `codec`;
     /// contributions are decode-merged at the root in rank order.
-    pub fn reduce_to_root_f64_codec(&self, codec: WireCodec, root: usize, buf: &mut [f64]) {
+    pub fn reduce_to_root_f64_codec(
+        &self,
+        codec: WireCodec,
+        root: usize,
+        buf: &mut [f64],
+    ) -> Result<(), CommError> {
         let tag = self.alloc_collective_tag();
         if self.rank() == root {
             for from in 0..self.world() {
                 if from == root {
                     continue;
                 }
-                wire::decode_add(&self.recv(from, tag), buf);
+                wire::decode_add(&self.recv(from, tag)?, buf);
             }
         } else {
-            self.send_f64s(root, tag, codec, buf);
+            self.send_f64s(root, tag, codec, buf)?;
         }
+        Ok(())
     }
 
     /// Broadcasts an f64 buffer from `root`, overwriting `buf` elsewhere.
-    pub fn broadcast_f64(&self, root: usize, buf: &mut [f64]) {
+    pub fn broadcast_f64(&self, root: usize, buf: &mut [f64]) -> Result<(), CommError> {
         let payload =
             if self.rank() == root { f64s_to_bytes(buf) } else { Bytes::new() };
-        let received = self.broadcast(root, payload);
+        let received = self.broadcast(root, payload)?;
         if self.rank() != root {
             let vals = bytes_to_f64s(&received);
             assert_eq!(vals.len(), buf.len(), "broadcast buffer length mismatch");
             buf.copy_from_slice(&vals);
         }
+        Ok(())
     }
 
     /// Ring reduce-scatter: on return, rank `r` holds the fully reduced
     /// segment `r` of `buf` (bounds from [`segment_bounds`]); the rest of
     /// `buf` is garbage. Each rank moves `(W−1)/W · len` elements each way —
     /// the bandwidth-optimal aggregation LightGBM uses (§4.1).
-    pub fn reduce_scatter_f64(&self, buf: &mut [f64]) -> (usize, usize) {
+    pub fn reduce_scatter_f64(&self, buf: &mut [f64]) -> Result<(usize, usize), CommError> {
         self.reduce_scatter_f64_codec(WireCodec::Dense, buf)
     }
 
     /// [`Self::reduce_scatter_f64`] with every ring hop encoded under
     /// `codec`. Partial sums are decode-merged in the same segment order as
     /// the dense ring, so lossless codecs stay bit-identical.
-    pub fn reduce_scatter_f64_codec(&self, codec: WireCodec, buf: &mut [f64]) -> (usize, usize) {
+    pub fn reduce_scatter_f64_codec(
+        &self,
+        codec: WireCodec,
+        buf: &mut [f64],
+    ) -> Result<(usize, usize), CommError> {
         let w = self.world();
         let r = self.rank();
         if w == 1 {
-            return (0, buf.len());
+            return Ok((0, buf.len()));
         }
         let tag = self.alloc_collective_tags(w as u64 - 1);
         let next = (r + 1) % w;
@@ -159,8 +175,8 @@ impl Comm {
             let send_seg = (r + w - s) % w;
             let recv_seg = (r + w - s - 1) % w;
             let (slo, shi) = segment_bounds(buf.len(), w, send_seg);
-            self.send_f64s(next, tag + s as u64, codec, &buf[slo..shi]);
-            let incoming = self.recv(prev, tag + s as u64);
+            self.send_f64s(next, tag + s as u64, codec, &buf[slo..shi])?;
+            let incoming = self.recv(prev, tag + s as u64)?;
             let (rlo, rhi) = segment_bounds(buf.len(), w, recv_seg);
             wire::decode_add(&incoming, &mut buf[rlo..rhi]);
         }
@@ -172,26 +188,30 @@ impl Comm {
         let tag2 = self.alloc_collective_tag();
         // Rank r owns segment r+1, which is exactly what `next` wants; my
         // segment r sits on `prev`.
-        self.send_f64s(next, tag2, codec, &buf[olo..ohi]);
-        let mine = self.recv(prev, tag2);
+        self.send_f64s(next, tag2, codec, &buf[olo..ohi])?;
+        let mine = self.recv(prev, tag2)?;
         let (mlo, mhi) = segment_bounds(buf.len(), w, r);
         wire::decode_into(&mine, &mut buf[mlo..mhi]);
-        (mlo, mhi)
+        Ok((mlo, mhi))
     }
 
     /// Ring all-gather of segments: rank `r` contributes segment `r` of
     /// `buf`; on return every rank holds the complete buffer.
-    pub fn all_gather_segments_f64(&self, buf: &mut [f64]) {
-        self.all_gather_segments_f64_codec(WireCodec::Dense, buf);
+    pub fn all_gather_segments_f64(&self, buf: &mut [f64]) -> Result<(), CommError> {
+        self.all_gather_segments_f64_codec(WireCodec::Dense, buf)
     }
 
     /// [`Self::all_gather_segments_f64`] with every forwarded segment encoded
     /// under `codec`.
-    pub fn all_gather_segments_f64_codec(&self, codec: WireCodec, buf: &mut [f64]) {
+    pub fn all_gather_segments_f64_codec(
+        &self,
+        codec: WireCodec,
+        buf: &mut [f64],
+    ) -> Result<(), CommError> {
         let w = self.world();
         let r = self.rank();
         if w == 1 {
-            return;
+            return Ok(());
         }
         let tag = self.alloc_collective_tags(w as u64 - 1);
         let next = (r + 1) % w;
@@ -200,30 +220,32 @@ impl Comm {
             let send_seg = (r + w - s) % w;
             let recv_seg = (r + w - s - 1) % w;
             let (slo, shi) = segment_bounds(buf.len(), w, send_seg);
-            self.send_f64s(next, tag + s as u64, codec, &buf[slo..shi]);
-            let incoming = self.recv(prev, tag + s as u64);
+            self.send_f64s(next, tag + s as u64, codec, &buf[slo..shi])?;
+            let incoming = self.recv(prev, tag + s as u64)?;
             let (rlo, rhi) = segment_bounds(buf.len(), w, recv_seg);
             wire::decode_into(&incoming, &mut buf[rlo..rhi]);
         }
+        Ok(())
     }
 
     /// Ring all-reduce: element-wise sum of `buf` across all ranks, complete
     /// everywhere (reduce-scatter + all-gather; ~2·len traffic per rank).
-    pub fn all_reduce_f64(&self, buf: &mut [f64]) {
-        self.all_reduce_f64_codec(WireCodec::Dense, buf);
+    pub fn all_reduce_f64(&self, buf: &mut [f64]) -> Result<(), CommError> {
+        self.all_reduce_f64_codec(WireCodec::Dense, buf)
     }
 
     /// [`Self::all_reduce_f64`] with every hop encoded under `codec`. With
     /// [`WireCodec::F32`] the reduced segments are forwarded verbatim through
     /// the all-gather (f32→f64→f32 is exact), so all ranks still agree
     /// bit-for-bit with each other — just not with the dense result.
-    pub fn all_reduce_f64_codec(&self, codec: WireCodec, buf: &mut [f64]) {
-        self.reduce_scatter_f64_codec(codec, buf);
-        self.all_gather_segments_f64_codec(codec, buf);
+    pub fn all_reduce_f64_codec(&self, codec: WireCodec, buf: &mut [f64]) -> Result<(), CommError> {
+        self.reduce_scatter_f64_codec(codec, buf)?;
+        self.all_gather_segments_f64_codec(codec, buf)
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::cost::NetworkCostModel;
@@ -258,7 +280,7 @@ mod tests {
     fn broadcast_delivers_everywhere() {
         let got = run(4, |c| {
             let payload = if c.rank() == 1 { Bytes::from_static(b"root") } else { Bytes::new() };
-            c.broadcast(1, payload)
+            c.broadcast(1, payload).unwrap()
         });
         for g in got {
             assert_eq!(&g[..], b"root");
@@ -269,7 +291,7 @@ mod tests {
     fn gather_collects_in_rank_order() {
         let got = run(3, |c| {
             let payload = Bytes::from(vec![c.rank() as u8]);
-            c.gather(0, payload)
+            c.gather(0, payload).unwrap()
         });
         assert_eq!(
             got[0].as_ref().unwrap().iter().map(|b| b[0]).collect::<Vec<_>>(),
@@ -282,7 +304,7 @@ mod tests {
     #[test]
     fn all_gather_everywhere() {
         let got = run(3, |c| {
-            c.all_gather(Bytes::from(vec![c.rank() as u8 * 10]))
+            c.all_gather(Bytes::from(vec![c.rank() as u8 * 10])).unwrap()
         });
         for g in got {
             assert_eq!(g.iter().map(|b| b[0]).collect::<Vec<_>>(), vec![0, 10, 20]);
@@ -293,7 +315,7 @@ mod tests {
     fn reduce_to_root_sums() {
         let got = run(4, |c| {
             let mut buf = vec![c.rank() as f64, 1.0];
-            c.reduce_to_root_f64(2, &mut buf);
+            c.reduce_to_root_f64(2, &mut buf).unwrap();
             buf
         });
         assert_eq!(got[2], vec![0.0 + 1.0 + 2.0 + 3.0, 4.0]);
@@ -304,7 +326,7 @@ mod tests {
     fn broadcast_f64_overwrites() {
         let got = run(3, |c| {
             let mut buf = if c.rank() == 0 { vec![1.5, 2.5] } else { vec![0.0, 0.0] };
-            c.broadcast_f64(0, &mut buf);
+            c.broadcast_f64(0, &mut buf).unwrap();
             buf
         });
         for g in got {
@@ -319,7 +341,7 @@ mod tests {
             let got = run(world, move |c| {
                 let mut buf: Vec<f64> =
                     (0..len).map(|i| (c.rank() * 100 + i) as f64).collect();
-                c.all_reduce_f64(&mut buf);
+                c.all_reduce_f64(&mut buf).unwrap();
                 buf
             });
             let expected: Vec<f64> = (0..len)
@@ -337,7 +359,7 @@ mod tests {
             let len = 10;
             let got = run(world, move |c| {
                 let mut buf: Vec<f64> = (0..len).map(|i| (c.rank() + i) as f64).collect();
-                let (lo, hi) = c.reduce_scatter_f64(&mut buf);
+                let (lo, hi) = c.reduce_scatter_f64(&mut buf).unwrap();
                 (lo, hi, buf[lo..hi].to_vec())
             });
             for (r, (lo, hi, seg)) in got.iter().enumerate() {
@@ -360,7 +382,7 @@ mod tests {
                 .map(|c| {
                     s.spawn(move || {
                         let payload = Bytes::from(vec![0u8; 100]);
-                        c.all_gather(payload);
+                        c.all_gather(payload).unwrap();
                         c.counters()
                     })
                 })
@@ -388,7 +410,7 @@ mod tests {
         ] {
             let counters = run(2, move |c| {
                 let mut buf = vec![0.0f64; 8];
-                c.all_reduce_f64_codec(codec, &mut buf);
+                c.all_reduce_f64_codec(codec, &mut buf).unwrap();
                 c.counters()
             });
             for c in counters {
@@ -407,7 +429,7 @@ mod tests {
                 for (i, slot) in buf.iter_mut().take(nnz).enumerate() {
                     *slot = 1.0 + i as f64;
                 }
-                c.reduce_to_root_f64_codec(WireCodec::Auto, 0, &mut buf);
+                c.reduce_to_root_f64_codec(WireCodec::Auto, 0, &mut buf).unwrap();
                 c.counters()
             });
             assert_eq!(counters[1].logical_f64_bytes, 128, "nnz={nnz}");
@@ -431,19 +453,19 @@ mod tests {
             };
             let dense = run(world, move |c| {
                 let mut buf = mk(c.rank());
-                c.all_reduce_f64(&mut buf);
+                c.all_reduce_f64(&mut buf).unwrap();
                 buf
             });
             for codec in [WireCodec::Sparse, WireCodec::Auto] {
                 let got = run(world, move |c| {
                     let mut buf = mk(c.rank());
-                    c.all_reduce_f64_codec(codec, &mut buf);
+                    c.all_reduce_f64_codec(codec, &mut buf).unwrap();
                     buf
                 });
                 assert_eq!(got, dense, "all_reduce {codec} world={world}");
                 let root = run(world, move |c| {
                     let mut buf = mk(c.rank());
-                    c.reduce_to_root_f64_codec(codec, 0, &mut buf);
+                    c.reduce_to_root_f64_codec(codec, 0, &mut buf).unwrap();
                     buf
                 });
                 assert_eq!(root[0], dense[0], "reduce_to_root {codec} world={world}");
@@ -460,7 +482,7 @@ mod tests {
                     if i.is_multiple_of(3) { (c.rank() + 1) as f64 * 0.1 + i as f64 } else { 0.0 }
                 })
                 .collect();
-            c.all_reduce_f64_codec(WireCodec::F32, &mut buf);
+            c.all_reduce_f64_codec(WireCodec::F32, &mut buf).unwrap();
             buf
         });
         // Lossy, but still deterministic and rank-consistent: every rank's
@@ -475,6 +497,36 @@ mod tests {
             };
             let tol = exact.abs().max(1.0) * 1e-5;
             assert!((v - exact).abs() <= tol, "i={i}: {v} vs {exact}");
+        }
+    }
+
+    /// Collectives keep working when messages are duplicated and delayed by
+    /// an (otherwise lossless) fault plan — dedup happens at envelope
+    /// intake, so ring hops never consume a stale duplicate.
+    #[test]
+    fn collectives_survive_duplication_faults() {
+        let plan = crate::fault::FaultPlan::new(23).with_dup(0.4).with_delay(0.3, 0.001);
+        for world in [2, 3, 5] {
+            let clean = run(world, move |c| {
+                let mut buf: Vec<f64> = (0..17).map(|i| (c.rank() * 7 + i) as f64).collect();
+                c.all_reduce_f64(&mut buf).unwrap();
+                buf
+            });
+            let (mesh, _ctl) = Comm::mesh_with(world, NetworkCostModel::infinite(), Some(plan));
+            let mut out: Vec<Option<Vec<f64>>> = (0..world).map(|_| None).collect();
+            std::thread::scope(|s| {
+                for (c, slot) in mesh.into_iter().zip(out.iter_mut()) {
+                    s.spawn(move || {
+                        let mut buf: Vec<f64> =
+                            (0..17).map(|i| (c.rank() * 7 + i) as f64).collect();
+                        c.all_reduce_f64(&mut buf).unwrap();
+                        *slot = Some(buf);
+                    });
+                }
+            });
+            for (r, got) in out.into_iter().enumerate() {
+                assert_eq!(got.unwrap(), clean[r], "world={world} rank={r}");
+            }
         }
     }
 }

@@ -8,22 +8,53 @@
 //!
 //! Loopback sends (to self) are delivered directly and charged nothing —
 //! a worker talking to itself never touches the network.
+//!
+//! # Failure semantics
+//!
+//! `send`/`recv` return [`CommError`] instead of panicking. Under a
+//! [`FaultPlan`] a send may be dropped (retried with a modelled ack-timeout
+//! charge, up to the plan's retry budget), duplicated (the receiver detects
+//! the repeated `(from, tag, seq)` and discards it after accounting its
+//! transfer), or delayed (modelled seconds only). With no plan attached the
+//! fast path is byte-for-byte identical to the historical accounting.
+//!
+//! A shared cancel flag plus a control envelope lets the run supervisor
+//! wake any blocked `recv` promptly when a peer fails, and a generous
+//! receive deadline bounds the wait even if cancellation is never
+//! delivered.
 
 use crate::cost::NetworkCostModel;
+use crate::fault::{CommError, FaultPlan};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// One in-flight message.
 #[derive(Debug, Clone)]
 pub struct Envelope {
-    /// Sender rank.
+    /// Sender rank (or [`CONTROL_FROM`] for supervisor control messages).
     pub from: u32,
     /// Protocol tag (collectives auto-allocate from a high namespace).
     pub tag: u64,
+    /// Per-`(sender, destination)` sequence number; lets the receiver
+    /// discard duplicated deliveries.
+    pub seq: u64,
     /// Serialized payload.
     pub payload: Bytes,
 }
+
+/// Pseudo-rank used by supervisor control envelopes (cancellation).
+pub const CONTROL_FROM: u32 = u32::MAX;
+
+/// Default bound on how long a `recv` waits before reporting
+/// [`CommError::Timeout`]. Generous: real protocol messages arrive in
+/// microseconds; this only fires when a peer is truly gone and
+/// cancellation was never delivered.
+pub const RECV_PATIENCE: Duration = Duration::from_secs(30);
 
 /// Communication counters folded into [`crate::stats::WorkerStats`] after a run.
 #[derive(Debug, Default, Clone, Copy)]
@@ -42,6 +73,10 @@ pub struct CommCounters {
     /// Encoded size of those same payloads as actually sent. The ratio
     /// `logical / wire` is the codec's compression factor.
     pub wire_f64_bytes: u64,
+    /// Send attempts that were dropped by fault injection and retried.
+    pub retries: u64,
+    /// Duplicated deliveries detected and discarded by the receiver.
+    pub duplicates_dropped: u64,
 }
 
 /// A worker's endpoint into the in-process fabric.
@@ -54,11 +89,58 @@ pub struct Comm {
     counters: RefCell<CommCounters>,
     next_collective_tag: Cell<u64>,
     cost: NetworkCostModel,
+    faults: Option<FaultPlan>,
+    /// `(from, tag, seq)` triples already delivered — duplicate detection.
+    /// Only populated when a fault plan is attached.
+    seen: RefCell<HashSet<(u32, u64, u64)>>,
+    /// Next sequence number per destination rank.
+    send_seq: RefCell<Vec<u64>>,
+    cancel: Arc<AtomicBool>,
+    recv_patience: Cell<Duration>,
+}
+
+/// Supervisor-side handle onto a mesh: retains a sender for every rank so a
+/// failed run can be cancelled even after worker endpoints are gone.
+pub struct MeshControl {
+    senders: Vec<Sender<Envelope>>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl MeshControl {
+    /// Cancels the run: sets the shared flag and wakes every endpoint that
+    /// is blocked in `recv` with a control envelope.
+    pub fn cancel_all(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+        for sender in &self.senders {
+            // Endpoint may already be gone; waking the rest still matters.
+            let _ = sender.send(Envelope {
+                from: CONTROL_FROM,
+                tag: 0,
+                seq: 0,
+                payload: Bytes::new(),
+            });
+        }
+    }
+
+    /// Whether the run has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
 }
 
 impl Comm {
-    /// Builds a fully connected mesh of `world` endpoints.
+    /// Builds a fully connected mesh of `world` endpoints (no faults).
     pub fn mesh(world: usize, cost: NetworkCostModel) -> Vec<Comm> {
+        Self::mesh_with(world, cost, None).0
+    }
+
+    /// Builds a mesh with an optional fault plan, returning the supervisor
+    /// control handle alongside the endpoints.
+    pub fn mesh_with(
+        world: usize,
+        cost: NetworkCostModel,
+        faults: Option<FaultPlan>,
+    ) -> (Vec<Comm>, MeshControl) {
         assert!(world >= 1, "need at least one worker");
         let mut senders = Vec::with_capacity(world);
         let mut receivers = Vec::with_capacity(world);
@@ -67,7 +149,8 @@ impl Comm {
             senders.push(tx);
             receivers.push(rx);
         }
-        receivers
+        let cancel = Arc::new(AtomicBool::new(false));
+        let comms = receivers
             .into_iter()
             .enumerate()
             .map(|(rank, receiver)| Comm {
@@ -79,8 +162,14 @@ impl Comm {
                 counters: RefCell::new(CommCounters::default()),
                 next_collective_tag: Cell::new(COLLECTIVE_TAG_BASE),
                 cost,
+                faults,
+                seen: RefCell::new(HashSet::new()),
+                send_seq: RefCell::new(vec![0; world]),
+                cancel: Arc::clone(&cancel),
+                recv_patience: Cell::new(RECV_PATIENCE),
             })
-            .collect()
+            .collect();
+        (comms, MeshControl { senders, cancel })
     }
 
     /// This endpoint's rank.
@@ -98,21 +187,87 @@ impl Comm {
         &self.cost
     }
 
+    /// The fault plan attached to this mesh, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Overrides the receive deadline (tests exercise short timeouts).
+    pub fn set_recv_patience(&self, patience: Duration) {
+        self.recv_patience.set(patience);
+    }
+
+    fn next_seq(&self, to: usize) -> u64 {
+        let mut seqs = self.send_seq.borrow_mut();
+        let seq = seqs[to];
+        seqs[to] += 1;
+        seq
+    }
+
     /// Sends `payload` to `to` under `tag`.
-    pub fn send(&self, to: usize, tag: u64, payload: Bytes) {
+    pub fn send(&self, to: usize, tag: u64, payload: Bytes) -> Result<(), CommError> {
         assert!(to < self.world, "rank {to} out of range");
-        let len = payload.len();
-        let envelope = Envelope { from: self.rank as u32, tag, payload };
-        if to == self.rank {
-            // Loopback: free, delivered immediately.
-            self.pending.borrow_mut().push(envelope);
-            return;
+        if self.cancel.load(Ordering::Relaxed) {
+            return Err(CommError::Cancelled);
         }
-        self.senders[to].send(envelope).expect("peer endpoint dropped while cluster running");
-        let mut c = self.counters.borrow_mut();
-        c.bytes_sent += len as u64;
-        c.messages_sent += 1;
-        c.comm_seconds += self.cost.message_time(len);
+        let seq = self.next_seq(to);
+        if to == self.rank {
+            // Loopback: free, reliable, delivered immediately.
+            self.pending.borrow_mut().push(Envelope {
+                from: self.rank as u32,
+                tag,
+                seq,
+                payload,
+            });
+            return Ok(());
+        }
+        let len = payload.len();
+        let Some(plan) = self.faults else {
+            // Fault-free fast path: byte accounting identical to the
+            // historical panic-on-failure implementation.
+            let envelope = Envelope { from: self.rank as u32, tag, seq, payload };
+            self.senders[to].send(envelope).map_err(|_| CommError::PeerGone { to })?;
+            let mut c = self.counters.borrow_mut();
+            c.bytes_sent += len as u64;
+            c.messages_sent += 1;
+            c.comm_seconds += self.cost.message_time(len);
+            return Ok(());
+        };
+        let slow = plan.slow_factor(self.rank);
+        for attempt in 0..plan.max_attempts {
+            // Every attempt physically occupies the wire.
+            {
+                let mut c = self.counters.borrow_mut();
+                c.bytes_sent += len as u64;
+                c.messages_sent += 1;
+                c.comm_seconds += self.cost.message_time(len) * slow;
+            }
+            if plan.should_drop(self.rank, to, tag, seq, attempt) {
+                // Lost in transit: wait out the modelled ack timeout, retry.
+                let mut c = self.counters.borrow_mut();
+                c.comm_seconds += 2.0 * self.cost.latency_s;
+                c.retries += 1;
+                continue;
+            }
+            self.counters.borrow_mut().comm_seconds +=
+                plan.delay_for(self.rank, to, tag, seq, attempt);
+            let envelope =
+                Envelope { from: self.rank as u32, tag, seq, payload: payload.clone() };
+            self.senders[to].send(envelope).map_err(|_| CommError::PeerGone { to })?;
+            if plan.should_dup(self.rank, to, tag, seq, attempt) {
+                // The network delivers a second physical copy with the same
+                // sequence number; the receiver will discard it.
+                let mut c = self.counters.borrow_mut();
+                c.bytes_sent += len as u64;
+                c.messages_sent += 1;
+                c.comm_seconds += self.cost.message_time(len) * slow;
+                drop(c);
+                let dup = Envelope { from: self.rank as u32, tag, seq, payload };
+                let _ = self.senders[to].send(dup);
+            }
+            return Ok(());
+        }
+        Err(CommError::RetriesExhausted { to, tag, attempts: plan.max_attempts })
     }
 
     /// Encodes `vals` under `codec` and sends to `to`, recording the
@@ -123,19 +278,21 @@ impl Comm {
         tag: u64,
         codec: crate::wire::WireCodec,
         vals: &[f64],
-    ) {
+    ) -> Result<(), CommError> {
         let payload = crate::wire::encode(codec, vals);
         if to != self.rank {
             let mut c = self.counters.borrow_mut();
             c.logical_f64_bytes += crate::wire::logical_bytes(vals.len());
             c.wire_f64_bytes += payload.len() as u64;
         }
-        self.send(to, tag, payload);
+        self.send(to, tag, payload)
     }
 
     /// Receives the message from `from` with `tag`, blocking until it
-    /// arrives. Other messages arriving meanwhile are buffered.
-    pub fn recv(&self, from: usize, tag: u64) -> Bytes {
+    /// arrives, the run is cancelled, or the receive deadline passes.
+    /// Other messages arriving meanwhile are buffered; duplicated
+    /// deliveries are accounted and discarded.
+    pub fn recv(&self, from: usize, tag: u64) -> Result<Bytes, CommError> {
         // Check the out-of-order buffer first.
         {
             let mut pending = self.pending.borrow_mut();
@@ -144,18 +301,47 @@ impl Comm {
             {
                 let envelope = pending.swap_remove(pos);
                 self.account_recv(from, envelope.payload.len());
-                return envelope.payload;
+                return Ok(envelope.payload);
             }
         }
         loop {
-            let envelope =
-                self.receiver.recv().expect("peer endpoints dropped while cluster running");
+            if self.cancel.load(Ordering::Relaxed) {
+                return Err(CommError::Cancelled);
+            }
+            let envelope = match self.receiver.recv_timeout(self.recv_patience.get()) {
+                Ok(envelope) => envelope,
+                Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout { from, tag }),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::PeerGone { to: from })
+                }
+            };
+            if envelope.from == CONTROL_FROM {
+                return Err(CommError::Cancelled);
+            }
+            if self.faults.is_some() && !self.admit(&envelope) {
+                continue;
+            }
             if envelope.from as usize == from && envelope.tag == tag {
                 self.account_recv(from, envelope.payload.len());
-                return envelope.payload;
+                return Ok(envelope.payload);
             }
             self.pending.borrow_mut().push(envelope);
         }
+    }
+
+    /// Duplicate detection at envelope intake: returns `false` (after
+    /// accounting the wasted transfer) when `(from, tag, seq)` was already
+    /// delivered, so a duplicate can never satisfy a later `recv`.
+    fn admit(&self, envelope: &Envelope) -> bool {
+        let key = (envelope.from, envelope.tag, envelope.seq);
+        if self.seen.borrow_mut().insert(key) {
+            return true;
+        }
+        let mut c = self.counters.borrow_mut();
+        c.bytes_received += envelope.payload.len() as u64;
+        c.comm_seconds += envelope.payload.len() as f64 / self.cost.bandwidth_bytes_per_s;
+        c.duplicates_dropped += 1;
+        false
     }
 
     fn account_recv(&self, from: usize, len: usize) {
@@ -195,6 +381,8 @@ impl Comm {
         stats.comm_seconds += c.comm_seconds;
         stats.logical_f64_bytes += c.logical_f64_bytes;
         stats.wire_f64_bytes += c.wire_f64_bytes;
+        stats.retries += c.retries;
+        stats.duplicates_dropped += c.duplicates_dropped;
     }
 }
 
@@ -203,6 +391,7 @@ impl Comm {
 pub const COLLECTIVE_TAG_BASE: u64 = 1 << 63;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -210,8 +399,8 @@ mod tests {
     fn send_recv_roundtrip_with_accounting() {
         let mesh = Comm::mesh(2, NetworkCostModel { latency_s: 0.001, bandwidth_bytes_per_s: 1000.0 });
         let (a, b) = (&mesh[0], &mesh[1]);
-        a.send(1, 7, Bytes::from_static(b"hello"));
-        let got = b.recv(0, 7);
+        a.send(1, 7, Bytes::from_static(b"hello")).unwrap();
+        let got = b.recv(0, 7).unwrap();
         assert_eq!(&got[..], b"hello");
         let ca = a.counters();
         assert_eq!(ca.bytes_sent, 5);
@@ -226,19 +415,19 @@ mod tests {
     fn tag_matching_buffers_out_of_order() {
         let mesh = Comm::mesh(2, NetworkCostModel::infinite());
         let (a, b) = (&mesh[0], &mesh[1]);
-        a.send(1, 1, Bytes::from_static(b"first"));
-        a.send(1, 2, Bytes::from_static(b"second"));
+        a.send(1, 1, Bytes::from_static(b"first")).unwrap();
+        a.send(1, 2, Bytes::from_static(b"second")).unwrap();
         // Receive in reverse tag order.
-        assert_eq!(&b.recv(0, 2)[..], b"second");
-        assert_eq!(&b.recv(0, 1)[..], b"first");
+        assert_eq!(&b.recv(0, 2).unwrap()[..], b"second");
+        assert_eq!(&b.recv(0, 1).unwrap()[..], b"first");
     }
 
     #[test]
     fn loopback_is_free() {
         let mesh = Comm::mesh(1, NetworkCostModel::lab_cluster());
         let a = &mesh[0];
-        a.send(0, 3, Bytes::from_static(b"self"));
-        assert_eq!(&a.recv(0, 3)[..], b"self");
+        a.send(0, 3, Bytes::from_static(b"self")).unwrap();
+        assert_eq!(&a.recv(0, 3).unwrap()[..], b"self");
         let c = a.counters();
         assert_eq!(c.bytes_sent, 0);
         assert_eq!(c.bytes_received, 0);
@@ -252,10 +441,10 @@ mod tests {
         let a = mesh.pop().unwrap();
         std::thread::scope(|s| {
             s.spawn(move || {
-                a.send(1, 9, Bytes::from(vec![1u8, 2, 3]));
+                a.send(1, 9, Bytes::from(vec![1u8, 2, 3])).unwrap();
             });
             s.spawn(move || {
-                assert_eq!(&b.recv(0, 9)[..], &[1, 2, 3]);
+                assert_eq!(&b.recv(0, 9).unwrap()[..], &[1, 2, 3]);
             });
         });
     }
@@ -263,10 +452,102 @@ mod tests {
     #[test]
     fn fold_into_accumulates_stats() {
         let mesh = Comm::mesh(2, NetworkCostModel::infinite());
-        mesh[0].send(1, 1, Bytes::from_static(b"xy"));
+        mesh[0].send(1, 1, Bytes::from_static(b"xy")).unwrap();
         let mut stats = crate::stats::WorkerStats::default();
         mesh[0].fold_into(&mut stats);
         assert_eq!(stats.bytes_sent, 2);
         assert_eq!(stats.messages_sent, 1);
+    }
+
+    #[test]
+    fn recv_times_out_with_typed_error() {
+        let mesh = Comm::mesh(2, NetworkCostModel::infinite());
+        mesh[1].set_recv_patience(Duration::from_millis(20));
+        assert_eq!(mesh[1].recv(0, 1), Err(CommError::Timeout { from: 0, tag: 1 }));
+    }
+
+    #[test]
+    fn cancellation_wakes_blocked_recv() {
+        let (mut mesh, control) = Comm::mesh_with(2, NetworkCostModel::infinite(), None);
+        let b = mesh.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                assert_eq!(b.recv(0, 1), Err(CommError::Cancelled));
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            control.cancel_all();
+        });
+        assert!(control.is_cancelled());
+        // Sends after cancellation fail fast too.
+        assert_eq!(mesh[0].send(1, 1, Bytes::new()), Err(CommError::Cancelled));
+    }
+
+    #[test]
+    fn dropped_sends_retry_and_charge_overhead() {
+        let plan = FaultPlan::new(11).with_drop(0.5);
+        let cost = NetworkCostModel { latency_s: 0.001, bandwidth_bytes_per_s: 1000.0 };
+        let (mesh, _control) = Comm::mesh_with(2, cost, Some(plan));
+        let (a, b) = (&mesh[0], &mesh[1]);
+        let n = 200;
+        for i in 0..n {
+            a.send(1, i, Bytes::from_static(b"payload!")).unwrap();
+            assert_eq!(&b.recv(0, i).unwrap()[..], b"payload!");
+        }
+        let c = a.counters();
+        assert!(c.retries > 0, "expected some dropped attempts at p=0.5");
+        // Every retry re-sent the full message and waited out an ack timeout.
+        assert_eq!(c.messages_sent, n + c.retries);
+        assert_eq!(c.bytes_sent, 8 * (n + c.retries));
+        let clean = n as f64 * cost.message_time(8);
+        let overhead = c.retries as f64 * (cost.message_time(8) + 2.0 * cost.latency_s);
+        assert!((c.comm_seconds - clean - overhead).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicates_are_accounted_then_discarded() {
+        let plan = FaultPlan::new(5).with_dup(0.5);
+        let (mesh, _control) = Comm::mesh_with(2, NetworkCostModel::infinite(), Some(plan));
+        let (a, b) = (&mesh[0], &mesh[1]);
+        let n = 200u64;
+        for i in 0..n {
+            a.send(1, i, Bytes::from_static(b"x")).unwrap();
+        }
+        for i in 0..n {
+            assert_eq!(&b.recv(0, i).unwrap()[..], b"x");
+        }
+        // Drain any trailing duplicates still queued.
+        b.set_recv_patience(Duration::from_millis(10));
+        assert!(b.recv(0, n + 1).is_err());
+        let cb = b.counters();
+        assert!(cb.duplicates_dropped > 0, "expected duplicates at p=0.5");
+        assert_eq!(cb.bytes_received, n + cb.duplicates_dropped);
+        let ca = a.counters();
+        assert_eq!(ca.messages_sent, n + cb.duplicates_dropped);
+    }
+
+    #[test]
+    fn retries_exhausted_is_reported() {
+        let plan = FaultPlan::new(1).with_drop(1.0).with_max_attempts(3);
+        let (mesh, _control) = Comm::mesh_with(2, NetworkCostModel::infinite(), Some(plan));
+        assert_eq!(
+            mesh[0].send(1, 9, Bytes::from_static(b"doomed")),
+            Err(CommError::RetriesExhausted { to: 1, tag: 9, attempts: 3 })
+        );
+        assert_eq!(mesh[0].counters().retries, 3);
+    }
+
+    #[test]
+    fn inactive_fault_plan_matches_fault_free_accounting() {
+        let cost = NetworkCostModel { latency_s: 0.001, bandwidth_bytes_per_s: 1000.0 };
+        let (faulty, _c1) = Comm::mesh_with(2, cost, Some(FaultPlan::new(3)));
+        let clean = Comm::mesh(2, cost);
+        for mesh in [&faulty, &clean] {
+            mesh[0].send(1, 7, Bytes::from_static(b"hello")).unwrap();
+            mesh[1].recv(0, 7).unwrap();
+        }
+        let (cf, cc) = (faulty[0].counters(), clean[0].counters());
+        assert_eq!(cf.bytes_sent, cc.bytes_sent);
+        assert_eq!(cf.messages_sent, cc.messages_sent);
+        assert_eq!(cf.comm_seconds, cc.comm_seconds);
     }
 }

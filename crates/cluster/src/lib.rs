@@ -20,13 +20,19 @@
 //! * [`wire`] — pluggable histogram wire codecs (dense/sparse/f32) with
 //!   adaptive per-message selection, used by the codec-aware collectives.
 //! * [`ps`] — parameter-server-style sharded aggregation (DimBoost, §4.1).
-//! * [`cluster`] — scoped-thread harness running one closure per worker.
-//! * [`stats`] — per-worker phase timers, byte counters, memory gauges.
+//! * [`cluster`] — scoped-thread harness running one closure per worker,
+//!   with a supervisor that cancels peers on failure and replays crashed
+//!   attempts from per-tree checkpoints.
+//! * [`fault`] — deterministic seed-driven fault injection (drop / dup /
+//!   delay / crash / straggler) and the typed [`fault::CommError`].
+//! * [`stats`] — per-worker phase timers, byte counters, memory gauges,
+//!   retry/recovery accounting.
 
 pub mod cluster;
 pub mod collectives;
 pub mod comm;
 pub mod cost;
+pub mod fault;
 pub mod ps;
 pub mod stats;
 pub mod wire;
@@ -34,5 +40,6 @@ pub mod wire;
 pub use cluster::{Cluster, WorkerCtx};
 pub use comm::Comm;
 pub use cost::NetworkCostModel;
+pub use fault::{CommError, FaultPlan, InjectedCrash};
 pub use stats::{Phase, WorkerStats};
 pub use wire::WireCodec;

@@ -10,6 +10,7 @@
 //! traffic and the single-point bottleneck of gather-to-root (§4.1).
 
 use crate::comm::Comm;
+use crate::fault::CommError;
 use crate::wire::{self, WireCodec};
 
 impl Comm {
@@ -19,7 +20,11 @@ impl Comm {
     /// `ranges[s]` is the `[start, end)` slice of `buf` owned by server `s`
     /// (`ranges.len() == world`); ranges must be disjoint but need not cover
     /// `buf`. Returns the fully reduced values of `ranges[rank]`.
-    pub fn ps_push_and_reduce(&self, buf: &[f64], ranges: &[(usize, usize)]) -> Vec<f64> {
+    pub fn ps_push_and_reduce(
+        &self,
+        buf: &[f64],
+        ranges: &[(usize, usize)],
+    ) -> Result<Vec<f64>, CommError> {
         self.ps_push_and_reduce_codec(WireCodec::Dense, buf, ranges)
     }
 
@@ -30,14 +35,14 @@ impl Comm {
         codec: WireCodec,
         buf: &[f64],
         ranges: &[(usize, usize)],
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, CommError> {
         assert_eq!(ranges.len(), self.world(), "one range per server");
         let tag = self.alloc_collective_tag();
         let r = self.rank();
         // Push every foreign shard to its server.
         for (server, &(lo, hi)) in ranges.iter().enumerate() {
             if server != r {
-                self.send_f64s(server, tag, codec, &buf[lo..hi]);
+                self.send_f64s(server, tag, codec, &buf[lo..hi])?;
             }
         }
         // Serve my shard: start from my local slice, add peers in rank order.
@@ -47,13 +52,14 @@ impl Comm {
             if from == r {
                 continue;
             }
-            wire::decode_add(&self.recv(from, tag), &mut reduced);
+            wire::decode_add(&self.recv(from, tag)?, &mut reduced);
         }
-        reduced
+        Ok(reduced)
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::collectives::segment_bounds;
@@ -73,7 +79,7 @@ mod tests {
                                 (0..len).map(|i| (c.rank() * 10 + i) as f64).collect();
                             let ranges: Vec<_> =
                                 (0..world).map(|w| segment_bounds(len, world, w)).collect();
-                            c.ps_push_and_reduce(&buf, &ranges)
+                            c.ps_push_and_reduce(&buf, &ranges).unwrap()
                         })
                     })
                     .collect();
@@ -107,7 +113,8 @@ mod tests {
                             let buf = mk(c.rank());
                             let ranges: Vec<_> =
                                 (0..world).map(|w| segment_bounds(len, world, w)).collect();
-                            let reduced = c.ps_push_and_reduce_codec(codec, &buf, &ranges);
+                            let reduced =
+                                c.ps_push_and_reduce_codec(codec, &buf, &ranges).unwrap();
                             (reduced, c.counters().wire_f64_bytes)
                         })
                     })
@@ -141,7 +148,7 @@ mod tests {
                         let buf = vec![1.0f64; len];
                         let ranges: Vec<_> =
                             (0..world).map(|w| segment_bounds(len, world, w)).collect();
-                        c.ps_push_and_reduce(&buf, &ranges);
+                        c.ps_push_and_reduce(&buf, &ranges).unwrap();
                         c.counters()
                     })
                 })

@@ -101,6 +101,10 @@ pub struct WorkerStats {
     pub layer_logical_bytes: Vec<u64>,
     /// Per-tree-layer wire bytes of histogram aggregation.
     pub layer_wire_bytes: Vec<u64>,
+    /// Send attempts dropped by fault injection and retried.
+    pub retries: u64,
+    /// Duplicated deliveries detected and discarded.
+    pub duplicates_dropped: u64,
 }
 
 impl WorkerStats {
@@ -182,6 +186,8 @@ impl WorkerStats {
         {
             self.record_layer_bytes(layer, logical, wireb);
         }
+        self.retries += other.retries;
+        self.duplicates_dropped += other.duplicates_dropped;
     }
 }
 
@@ -190,12 +196,16 @@ impl WorkerStats {
 pub struct ClusterStats {
     /// Per-worker stats, by rank.
     pub workers: Vec<WorkerStats>,
+    /// Worker-crash recoveries performed by the run supervisor.
+    pub recoveries: u64,
+    /// Wall-clock seconds spent in failed attempts that were replayed.
+    pub recovery_seconds: f64,
 }
 
 impl ClusterStats {
     /// Wraps per-worker stats.
     pub fn new(workers: Vec<WorkerStats>) -> Self {
-        ClusterStats { workers }
+        ClusterStats { workers, recoveries: 0, recovery_seconds: 0.0 }
     }
 
     /// Slowest worker's total computation time (the straggler that gates a
@@ -212,6 +222,16 @@ impl ClusterStats {
     /// Total bytes sent across the cluster.
     pub fn total_bytes_sent(&self) -> u64 {
         self.workers.iter().map(|w| w.bytes_sent).sum()
+    }
+
+    /// Total fault-injection retries across the cluster.
+    pub fn total_retries(&self) -> u64 {
+        self.workers.iter().map(|w| w.retries).sum()
+    }
+
+    /// Total duplicated deliveries discarded across the cluster.
+    pub fn total_duplicates_dropped(&self) -> u64 {
+        self.workers.iter().map(|w| w.duplicates_dropped).sum()
     }
 
     /// Largest per-worker data storage.

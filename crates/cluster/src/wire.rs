@@ -53,7 +53,7 @@ pub(crate) fn f64s_to_bytes(buf: &[f64]) -> Bytes {
 /// Inverse of [`f64s_to_bytes`], pre-sized.
 pub(crate) fn bytes_to_f64s(bytes: &Bytes) -> Vec<f64> {
     let mut out = Vec::with_capacity(bytes.len() / 8);
-    out.extend(bytes.chunks_exact(8).map(|ch| f64::from_le_bytes(ch.try_into().unwrap())));
+    out.extend(bytes.chunks_exact(8).map(|ch| f64::from_le_bytes(ch.try_into().expect("8-byte chunk"))));
     out
 }
 
@@ -153,7 +153,7 @@ enum Layout<'a> {
 fn classify(bytes: &Bytes, n: usize) -> Layout<'_> {
     if bytes.len() % 2 == 1 {
         let nnz =
-            u32::from_le_bytes(bytes[1..SPARSE_HEADER].try_into().unwrap()) as usize;
+            u32::from_le_bytes(bytes[1..SPARSE_HEADER].try_into().expect("4-byte header")) as usize;
         let body = &bytes[SPARSE_HEADER..];
         return match bytes[0] {
             MARKER_SPARSE_F64 => {
@@ -178,17 +178,17 @@ fn classify(bytes: &Bytes, n: usize) -> Layout<'_> {
 
 fn for_each_sparse_f64(body: &[u8], n: usize, mut f: impl FnMut(usize, f64)) {
     for pair in body.chunks_exact(12) {
-        let idx = u32::from_le_bytes(pair[..4].try_into().unwrap()) as usize;
+        let idx = u32::from_le_bytes(pair[..4].try_into().expect("4-byte index")) as usize;
         assert!(idx < n, "sparse index {idx} out of range for {n} elements");
-        f(idx, f64::from_le_bytes(pair[4..].try_into().unwrap()));
+        f(idx, f64::from_le_bytes(pair[4..].try_into().expect("8-byte value")));
     }
 }
 
 fn for_each_sparse_f32(body: &[u8], n: usize, mut f: impl FnMut(usize, f64)) {
     for pair in body.chunks_exact(8) {
-        let idx = u32::from_le_bytes(pair[..4].try_into().unwrap()) as usize;
+        let idx = u32::from_le_bytes(pair[..4].try_into().expect("4-byte index")) as usize;
         assert!(idx < n, "sparse index {idx} out of range for {n} elements");
-        f(idx, f64::from(f32::from_le_bytes(pair[4..].try_into().unwrap())));
+        f(idx, f64::from(f32::from_le_bytes(pair[4..].try_into().expect("4-byte value"))));
     }
 }
 
@@ -199,12 +199,12 @@ pub fn decode_add(bytes: &Bytes, out: &mut [f64]) {
     match classify(bytes, out.len()) {
         Layout::DenseF64(body) => {
             for (a, ch) in out.iter_mut().zip(body.chunks_exact(8)) {
-                *a += f64::from_le_bytes(ch.try_into().unwrap());
+                *a += f64::from_le_bytes(ch.try_into().expect("8-byte chunk"));
             }
         }
         Layout::DenseF32(body) => {
             for (a, ch) in out.iter_mut().zip(body.chunks_exact(4)) {
-                *a += f64::from(f32::from_le_bytes(ch.try_into().unwrap()));
+                *a += f64::from(f32::from_le_bytes(ch.try_into().expect("4-byte chunk")));
             }
         }
         Layout::SparseF64(body) => for_each_sparse_f64(body, out.len(), |i, v| out[i] += v),
@@ -218,12 +218,12 @@ pub fn decode_into(bytes: &Bytes, out: &mut [f64]) {
     match classify(bytes, out.len()) {
         Layout::DenseF64(body) => {
             for (a, ch) in out.iter_mut().zip(body.chunks_exact(8)) {
-                *a = f64::from_le_bytes(ch.try_into().unwrap());
+                *a = f64::from_le_bytes(ch.try_into().expect("8-byte chunk"));
             }
         }
         Layout::DenseF32(body) => {
             for (a, ch) in out.iter_mut().zip(body.chunks_exact(4)) {
-                *a = f64::from(f32::from_le_bytes(ch.try_into().unwrap()));
+                *a = f64::from(f32::from_le_bytes(ch.try_into().expect("4-byte chunk")));
             }
         }
         Layout::SparseF64(body) => {
@@ -238,6 +238,7 @@ pub fn decode_into(bytes: &Bytes, out: &mut [f64]) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

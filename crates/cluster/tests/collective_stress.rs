@@ -2,6 +2,8 @@
 //! interleaved collectives, large payloads, and agreement between the three
 //! aggregation primitives.
 
+#![allow(clippy::unwrap_used)]
+
 use gbdt_cluster::collectives::segment_bounds;
 use gbdt_cluster::{Cluster, NetworkCostModel};
 
@@ -14,16 +16,16 @@ fn interleaved_collectives_keep_tags_aligned() {
         let mut acc = 0.0f64;
         for round in 0..10 {
             let mut buf = vec![(ctx.rank() + round) as f64; 17];
-            ctx.comm.all_reduce_f64(&mut buf);
+            ctx.comm.all_reduce_f64(&mut buf).unwrap();
             acc += buf[0];
             let payload = if ctx.rank() == round % 4 {
                 bytes::Bytes::from(vec![round as u8])
             } else {
                 bytes::Bytes::new()
             };
-            let got = ctx.comm.broadcast(round % 4, payload);
+            let got = ctx.comm.broadcast(round % 4, payload).unwrap();
             assert_eq!(got[0] as usize, round);
-            ctx.comm.barrier();
+            ctx.comm.barrier().unwrap();
         }
         acc
     });
@@ -46,14 +48,14 @@ fn aggregation_primitives_agree_on_large_buffers() {
             (0..len).map(|i| ((ctx.rank() + 1) * (i % 97)) as f64).collect();
 
         let mut ring = base.clone();
-        ctx.comm.all_reduce_f64(&mut ring);
+        ctx.comm.all_reduce_f64(&mut ring).unwrap();
 
         let mut rooted = base.clone();
-        ctx.comm.reduce_to_root_f64(0, &mut rooted);
-        ctx.comm.broadcast_f64(0, &mut rooted);
+        ctx.comm.reduce_to_root_f64(0, &mut rooted).unwrap();
+        ctx.comm.broadcast_f64(0, &mut rooted).unwrap();
 
         let ranges: Vec<_> = (0..ctx.world()).map(|w| segment_bounds(len, ctx.world(), w)).collect();
-        let shard = ctx.comm.ps_push_and_reduce(&base, &ranges);
+        let shard = ctx.comm.ps_push_and_reduce(&base, &ranges).unwrap();
         let (lo, _hi) = ranges[ctx.rank()];
 
         // Compare my PS shard against the same region of the ring result.
@@ -83,7 +85,7 @@ fn cost_model_scales_with_bandwidth() {
         let cluster = Cluster::with_cost(2, model);
         let (_, stats) = cluster.run(|ctx| {
             let mut buf = vec![1.0f64; 50_000];
-            ctx.comm.all_reduce_f64(&mut buf);
+            ctx.comm.all_reduce_f64(&mut buf).unwrap();
         });
         stats.comm_seconds()
     };
@@ -97,7 +99,7 @@ fn per_worker_byte_accounting_is_symmetric() {
     let cluster = Cluster::with_cost(4, NetworkCostModel::infinite());
     let (_, stats) = cluster.run(|ctx| {
         let payload = bytes::Bytes::from(vec![0u8; 1000]);
-        ctx.comm.all_gather(payload);
+        ctx.comm.all_gather(payload).unwrap();
     });
     let sent: u64 = stats.workers.iter().map(|w| w.bytes_sent).sum();
     let received: u64 = stats.workers.iter().map(|w| w.bytes_received).sum();

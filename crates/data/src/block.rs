@@ -46,10 +46,10 @@ impl Block {
                 bins.len()
             )));
         }
-        if row_ptr.is_empty() || row_ptr[0] != 0 {
+        if row_ptr.first() != Some(&0) {
             return Err(DataError::Shape("row_ptr must start with 0".into()));
         }
-        if *row_ptr.last().unwrap() as usize != feats.len() {
+        if row_ptr.last().map(|&p| p as usize) != Some(feats.len()) {
             return Err(DataError::Shape("row_ptr does not span the pairs".into()));
         }
         for w in row_ptr.windows(2) {
@@ -255,6 +255,16 @@ mod tests {
         let b2 = block(2, 5, &[&[(1, 9)]]);
         // Deliver out of order: assemble must sort by file split index.
         BlockedRows::assemble(3, vec![b1, b2, b0]).unwrap()
+    }
+
+    #[test]
+    fn malformed_pointers_error_instead_of_panicking() {
+        // Empty row_ptr (e.g. a truncated wire payload) must be a DataError.
+        assert!(Block::new(0, 0, vec![], vec![], vec![]).is_err());
+        // row_ptr not spanning the pairs.
+        assert!(Block::new(0, 0, vec![1, 2], vec![1, 2], vec![0, 1]).is_err());
+        // Non-monotone row_ptr.
+        assert!(Block::new(0, 0, vec![1, 2], vec![1, 2], vec![0, 2, 1, 2]).is_err());
     }
 
     #[test]

@@ -122,7 +122,7 @@ pub fn decode_naive(bytes: Bytes) -> Result<Vec<(FeatureId, f64)>, DataError> {
         .chunks_exact(NAIVE_PAIR_BYTES)
         .map(|c| {
             let f = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
-            let v = f64::from_be_bytes(c[4..12].try_into().expect("12-byte chunk"));
+            let v = f64::from_be_bytes([c[4], c[5], c[6], c[7], c[8], c[9], c[10], c[11]]);
             (f, v)
         })
         .collect())
@@ -218,10 +218,11 @@ pub fn decode_block(bytes: Bytes, p: usize, q: usize) -> Result<Block, DataError
     if bytes.len() < 16 {
         return Err(DataError::Shape("block buffer shorter than header".into()));
     }
-    let file_split_index = u32::from_be_bytes(bytes[0..4].try_into().expect("header"));
-    let row_offset = u32::from_be_bytes(bytes[4..8].try_into().expect("header"));
-    let n_rows = u32::from_be_bytes(bytes[8..12].try_into().expect("header")) as usize;
-    let nnz = u32::from_be_bytes(bytes[12..16].try_into().expect("header")) as usize;
+    let hdr = |i: usize| u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+    let file_split_index = hdr(0);
+    let row_offset = hdr(4);
+    let n_rows = hdr(8) as usize;
+    let nnz = hdr(12) as usize;
     let need = nnz.checked_mul(fw + bw).and_then(|v| v.checked_add((n_rows + 1) * 4));
     if need != Some(bytes.len() - 16) {
         return Err(DataError::Shape(format!(

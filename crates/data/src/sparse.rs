@@ -148,7 +148,7 @@ impl CsrMatrix {
                 values.len()
             )));
         }
-        if *row_ptr.last().unwrap() != col_idx.len() || row_ptr[0] != 0 {
+        if row_ptr.last() != Some(&col_idx.len()) || row_ptr.first() != Some(&0) {
             return Err(DataError::Shape("row_ptr does not span the nonzeros".into()));
         }
         for w in row_ptr.windows(2) {
@@ -297,7 +297,7 @@ impl CscMatrix {
                 n_cols + 1
             )));
         }
-        if row_idx.len() != values.len() || *col_ptr.last().unwrap() != row_idx.len() {
+        if row_idx.len() != values.len() || col_ptr.last() != Some(&row_idx.len()) {
             return Err(DataError::Shape("col_ptr does not span the nonzeros".into()));
         }
         for j in 0..n_cols {
@@ -505,6 +505,11 @@ mod tests {
         assert!(CsrMatrix::from_parts(1, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
         assert!(CscMatrix::from_parts(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0]).is_err());
         assert!(CscMatrix::from_parts(2, 1, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        // Empty pointer arrays (malformed external input) error, not panic.
+        assert!(CsrMatrix::from_parts(0, 2, vec![], vec![], vec![]).is_err());
+        assert!(CscMatrix::from_parts(2, 0, vec![], vec![], vec![]).is_err());
+        // Pointers that start past 0 are rejected.
+        assert!(CsrMatrix::from_parts(1, 2, vec![1, 2], vec![0], vec![1.0]).is_err());
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use crate::horizontal::HorizontalPartition;
 use crate::vertical::{ColumnGrouping, GroupingStrategy};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use gbdt_cluster::{Phase, WorkerCtx};
+use gbdt_cluster::{CommError, Phase, WorkerCtx};
 use gbdt_core::{BinCuts, QuantileSketch};
 use gbdt_data::block::{Block, BlockedRows};
 use gbdt_data::dataset::Dataset;
@@ -115,7 +115,7 @@ pub fn build_global_cuts(
     shard: &Dataset,
     n_bins: usize,
     sketch_capacity: usize,
-) -> (BinCuts, Vec<u64>) {
+) -> Result<(BinCuts, Vec<u64>), CommError> {
     let w = ctx.world();
     let rank = ctx.rank();
     let d = shard.n_features();
@@ -144,7 +144,7 @@ pub fn build_global_cuts(
     {
         let tag_payloads: Vec<Bytes> = payloads.into_iter().map(BytesMut::freeze).collect();
         // All-to-all via pairwise send/recv on a gathered tag.
-        let batches = all_to_all(ctx, tag_payloads);
+        let batches = all_to_all(ctx, tag_payloads)?;
         incoming.extend(batches);
     }
     ctx.time(Phase::Sketch, || {
@@ -173,7 +173,7 @@ pub fn build_global_cuts(
         }
         out.freeze()
     });
-    let gathered = ctx.comm.gather(0, partial);
+    let gathered = ctx.comm.gather(0, partial)?;
     let full = if let Some(parts) = gathered {
         let mut cut_values: Vec<Vec<f32>> = vec![Vec::new(); d];
         let mut counts = vec![0u64; d];
@@ -201,7 +201,7 @@ pub fn build_global_cuts(
     } else {
         Bytes::new()
     };
-    let mut full = ctx.comm.broadcast(0, full);
+    let mut full = ctx.comm.broadcast(0, full)?;
     let cut_len = full.get_u32() as usize;
     let cuts = BinCuts::decode_bytes(&full.split_to(cut_len))
         .expect("master broadcasts well-formed cuts");
@@ -209,12 +209,12 @@ pub fn build_global_cuts(
     while full.has_remaining() {
         counts.push(full.get_u64());
     }
-    (cuts, counts)
+    Ok((cuts, counts))
 }
 
 /// All-to-all exchange: `payloads[w]` goes to worker `w`; returns the
 /// payloads received from every worker (own payload included, rank order).
-fn all_to_all(ctx: &mut WorkerCtx, payloads: Vec<Bytes>) -> Vec<Bytes> {
+fn all_to_all(ctx: &mut WorkerCtx, payloads: Vec<Bytes>) -> Result<Vec<Bytes>, CommError> {
     assert_eq!(payloads.len(), ctx.world(), "one payload per destination");
     let rank = ctx.rank();
     let mut own = Bytes::new();
@@ -226,7 +226,7 @@ fn all_to_all(ctx: &mut WorkerCtx, payloads: Vec<Bytes>) -> Vec<Bytes> {
             // all_gather-compatible point-to-point sends: one tag per
             // all-to-all, aligned across ranks because every rank calls this
             // in the same program order.
-            ctx.comm.send(dest, A2A_TAG, payload);
+            ctx.comm.send(dest, A2A_TAG, payload)?;
         }
     }
     let mut out = Vec::with_capacity(ctx.world());
@@ -234,10 +234,10 @@ fn all_to_all(ctx: &mut WorkerCtx, payloads: Vec<Bytes>) -> Vec<Bytes> {
         if from == rank {
             out.push(own.clone());
         } else {
-            out.push(ctx.comm.recv(from, A2A_TAG));
+            out.push(ctx.comm.recv(from, A2A_TAG)?);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Point-to-point tag used by the all-to-all exchanges in this module.
@@ -250,7 +250,7 @@ pub fn horizontal_to_vertical(
     shard: &Dataset,
     partition: HorizontalPartition,
     cfg: &TransformConfig,
-) -> TransformOutput {
+) -> Result<TransformOutput, CommError> {
     let w = ctx.world();
     let rank = ctx.rank();
     let d = shard.n_features();
@@ -262,7 +262,7 @@ pub fn horizontal_to_vertical(
 
     // Steps 1-2.
     let t = Instant::now();
-    let (cuts, feature_counts) = build_global_cuts(ctx, shard, q, cfg.sketch_capacity);
+    let (cuts, feature_counts) = build_global_cuts(ctx, shard, q, cfg.sketch_capacity)?;
     report.sketch_seconds = t.elapsed().as_secs_f64();
 
     // Step 3: master decides the grouping, broadcasts the assignment.
@@ -273,7 +273,7 @@ pub fn horizontal_to_vertical(
     } else {
         Bytes::new()
     };
-    let grouping_bytes = ctx.comm.broadcast(0, grouping_bytes);
+    let grouping_bytes = ctx.comm.broadcast(0, grouping_bytes)?;
     let grouping = ColumnGrouping::decode_bytes(&grouping_bytes)
         .expect("master broadcasts well-formed grouping");
 
@@ -322,7 +322,7 @@ pub fn horizontal_to_vertical(
     ctx.stats.add_comp(Phase::Transform, t.elapsed().as_secs_f64());
 
     // Step 4: exchange and reassemble.
-    let received = all_to_all(ctx, to_send);
+    let received = all_to_all(ctx, to_send)?;
     let t = Instant::now();
     let p_local = grouping.group_len(rank).max(1);
     let mut blocks = Vec::with_capacity(w);
@@ -353,7 +353,7 @@ pub fn horizontal_to_vertical(
         }
         out.freeze()
     };
-    let gathered = ctx.comm.gather(0, label_payload);
+    let gathered = ctx.comm.gather(0, label_payload)?;
     let all_labels = if let Some(parts) = gathered {
         let mut out = BytesMut::new();
         for part in parts {
@@ -363,7 +363,7 @@ pub fn horizontal_to_vertical(
     } else {
         Bytes::new()
     };
-    let mut all_labels = ctx.comm.broadcast(0, all_labels);
+    let mut all_labels = ctx.comm.broadcast(0, all_labels)?;
     let mut labels = Vec::with_capacity(partition.n_instances());
     while all_labels.has_remaining() {
         labels.push(all_labels.get_f32());
@@ -373,7 +373,7 @@ pub fn horizontal_to_vertical(
 
     report.comm_seconds = ctx.comm.counters().comm_seconds - comm_before.comm_seconds;
 
-    TransformOutput { cuts, grouping, local_data, labels, feature_counts, report }
+    Ok(TransformOutput { cuts, grouping, local_data, labels, feature_counts, report })
 }
 
 fn encode_rowframed_compressed(
@@ -538,7 +538,7 @@ mod tests {
                 "shard",
             )
             .unwrap();
-            horizontal_to_vertical(ctx, &shard, partition, cfg_ref)
+            horizontal_to_vertical(ctx, &shard, partition, cfg_ref).unwrap()
         });
 
         // Global reference: single-pass cuts + binning.
@@ -612,7 +612,7 @@ mod tests {
                 "shard",
             )
             .unwrap();
-            horizontal_to_vertical(ctx, &shard, partition, cfg_ref)
+            horizontal_to_vertical(ctx, &shard, partition, cfg_ref).unwrap()
         });
         let total_feats: usize =
             (0..4).map(|w| outputs[0].grouping.group_len(w)).sum();
@@ -641,7 +641,7 @@ mod tests {
                     "shard",
                 )
                 .unwrap();
-                horizontal_to_vertical(ctx, &shard, partition, cfg_ref)
+                horizontal_to_vertical(ctx, &shard, partition, cfg_ref).unwrap()
             });
             sent.push(
                 outputs.iter().map(|o| o.report.repartition_bytes_sent).sum::<u64>(),

@@ -67,6 +67,13 @@ impl DistTrainResult {
         self.mean_tree_comp_seconds() + self.mean_tree_comm_seconds()
     }
 
+    /// Total modelled run seconds: straggler-gated per-tree comp + comm,
+    /// plus any crash-recovery replay time.
+    pub fn total_seconds(&self) -> f64 {
+        self.per_tree.iter().map(|t| t.comp_seconds + t.comm_seconds).sum::<f64>()
+            + self.stats.recovery_seconds
+    }
+
     /// Standard deviation of per-tree total seconds (Figure 10 error bars).
     pub fn std_tree_seconds(&self) -> f64 {
         let totals: Vec<f64> =
@@ -221,14 +228,55 @@ pub fn record_layer_wire_bytes(
 }
 
 /// All-reduces per-class node statistics in place (horizontal root stats).
-pub fn all_reduce_stats(ctx: &mut gbdt_cluster::WorkerCtx, stats: &mut NodeStats) {
+pub fn all_reduce_stats(
+    ctx: &mut gbdt_cluster::WorkerCtx,
+    stats: &mut NodeStats,
+) -> Result<(), gbdt_cluster::CommError> {
     let c = stats.n_outputs();
     let mut buf = Vec::with_capacity(2 * c);
     buf.extend_from_slice(&stats.grads);
     buf.extend_from_slice(&stats.hesses);
-    ctx.comm.all_reduce_f64(&mut buf);
+    ctx.comm.all_reduce_f64(&mut buf)?;
     stats.grads.copy_from_slice(&buf[..c]);
     stats.hesses.copy_from_slice(&buf[c..]);
+    Ok(())
+}
+
+/// Per-tree recovery checkpoint every distributed trainer saves at tree
+/// boundaries: the model so far, this worker's raw prediction scores, and
+/// the per-tree timings. Replay resumes at `model.trees.len()`.
+pub type TreeCheckpoint = (GbdtModel, Vec<f64>, Vec<TreeStat>);
+
+/// Restores a surviving [`TreeCheckpoint`] from a crashed attempt into the
+/// trainer's state; returns the tree index to resume from (0 on a fresh
+/// run). Everything not checkpointed (indexes, histogram pools, gradients)
+/// is rebuilt per tree, so replaying the in-flight tree from here is
+/// deterministic.
+pub fn restore_tree_checkpoint(
+    ctx: &gbdt_cluster::WorkerCtx,
+    model: &mut GbdtModel,
+    scores: &mut Vec<f64>,
+    per_tree: &mut Vec<TreeStat>,
+) -> usize {
+    if let Some((m, s, p)) = ctx.load_checkpoint::<TreeCheckpoint>() {
+        *model = m;
+        *scores = s;
+        *per_tree = p;
+    }
+    model.trees.len()
+}
+
+/// Saves the [`TreeCheckpoint`] after a completed tree. Skipped entirely
+/// when no checkpoint store is attached, so fault-free runs pay no clone.
+pub fn save_tree_checkpoint(
+    ctx: &gbdt_cluster::WorkerCtx,
+    model: &GbdtModel,
+    scores: &[f64],
+    per_tree: &[TreeStat],
+) {
+    if ctx.has_checkpoint_store() {
+        ctx.save_checkpoint(&(model.clone(), scores.to_vec(), per_tree.to_vec()));
+    }
 }
 
 /// Tracks per-tree deltas of a worker's computation and communication time.

@@ -13,10 +13,11 @@
 //! ensemble here.
 
 use crate::common::{
-    subtraction_plan, worker_threads, DistTrainResult, Frontier, TreeStat, TreeTracker,
+    restore_tree_checkpoint, save_tree_checkpoint, subtraction_plan, worker_threads,
+    DistTrainResult, Frontier, TreeStat, TreeTracker,
 };
 use crate::qd2::exchange_local_bests;
-use gbdt_cluster::{Cluster, Phase, WorkerCtx};
+use gbdt_cluster::{Cluster, CommError, Phase, WorkerCtx};
 use gbdt_core::histogram::HistogramPool;
 use gbdt_core::indexes::NodeToInstanceIndex;
 use gbdt_core::parallel::{self, Meter};
@@ -32,7 +33,7 @@ pub fn train(cluster: &Cluster, dataset: &Dataset, config: &TrainConfig) -> Dist
     config.validate().expect("invalid training config");
     // With a full replica everywhere, cuts and grouping are computed
     // identically and locally on every worker — no sketch repartition.
-    let (outputs, stats) = cluster.run(|ctx| train_worker(ctx, dataset, config));
+    let (outputs, stats) = cluster.run_recoverable(|ctx| train_worker(ctx, dataset, config));
     let mut models = Vec::new();
     let mut per_worker_trees = Vec::new();
     for (model, trees) in outputs {
@@ -50,7 +51,7 @@ fn train_worker(
     ctx: &mut WorkerCtx,
     dataset: &Dataset,
     config: &TrainConfig,
-) -> (GbdtModel, Vec<TreeStat>) {
+) -> Result<(GbdtModel, Vec<TreeStat>), CommError> {
     let rank = ctx.rank();
     let world = ctx.world();
     let d = dataset.n_features();
@@ -97,7 +98,8 @@ fn train_worker(
     tracker.lap(ctx);
     let mut per_tree = Vec::with_capacity(config.n_trees);
 
-    for _ in 0..config.n_trees {
+    let start_tree = restore_tree_checkpoint(ctx, &mut model, &mut scores, &mut per_tree);
+    for t in start_tree..config.n_trees {
         ctx.time(Phase::Gradients, || {
             objective.compute_gradients(&scores, &dataset.labels, &mut grads)
         });
@@ -115,6 +117,7 @@ fn train_worker(
         let mut leaves: Vec<u32> = Vec::new();
 
         for layer in 0..config.n_layers {
+            ctx.fault_point(t, layer);
             if frontier.nodes.is_empty() {
                 break;
             }
@@ -168,7 +171,7 @@ fn train_worker(
                     })
                     .collect()
             });
-            let decisions = exchange_local_bests(ctx, &locals);
+            let decisions = exchange_local_bests(ctx, &locals)?;
 
             // Node splitting is LOCAL: the full replica answers every
             // feature lookup — no bitmap broadcast (Appendix D).
@@ -226,10 +229,11 @@ fn train_worker(
         index.reset();
         model.trees.push(tree);
         per_tree.push(tracker.lap(ctx));
+        save_tree_checkpoint(ctx, &model, &scores, &per_tree);
     }
     ctx.stats.parallel_wall_seconds = meter.wall_seconds();
     ctx.stats.parallel_busy_seconds = meter.busy_seconds();
-    (model, per_tree)
+    Ok((model, per_tree))
 }
 
 fn build_histogram(

@@ -11,10 +11,10 @@
 //! split redundantly (the leader-based variant has identical traffic shape).
 
 use crate::common::{
-    all_reduce_stats, record_layer_wire_bytes, shard_dataset, worker_threads, DistTrainResult,
-    Frontier, TreeStat, TreeTracker,
+    all_reduce_stats, record_layer_wire_bytes, restore_tree_checkpoint, save_tree_checkpoint,
+    shard_dataset, worker_threads, DistTrainResult, Frontier, TreeStat, TreeTracker,
 };
-use gbdt_cluster::{Cluster, Phase, WorkerCtx};
+use gbdt_cluster::{Cluster, CommError, Phase, WorkerCtx};
 use gbdt_core::histogram::{add_instance_to_feature_slice, histogram_size_bytes, NodeHistogram};
 use gbdt_core::indexes::InstanceToNodeIndex;
 use gbdt_core::parallel::Meter;
@@ -30,7 +30,7 @@ use gbdt_partition::HorizontalPartition;
 pub fn train(cluster: &Cluster, dataset: &Dataset, config: &TrainConfig) -> DistTrainResult {
     config.validate().expect("invalid training config");
     let partition = HorizontalPartition::new(dataset.n_instances(), cluster.world);
-    let (outputs, stats) = cluster.run(|ctx| {
+    let (outputs, stats) = cluster.run_recoverable(|ctx| {
         let shard = shard_dataset(dataset, partition, ctx.rank());
         train_worker(ctx, &shard, config)
     });
@@ -51,7 +51,7 @@ fn train_worker(
     ctx: &mut WorkerCtx,
     shard: &Dataset,
     config: &TrainConfig,
-) -> (GbdtModel, Vec<TreeStat>) {
+) -> Result<(GbdtModel, Vec<TreeStat>), CommError> {
     let d = shard.n_features();
     let q = config.n_bins;
     let c = config.n_outputs();
@@ -61,7 +61,7 @@ fn train_worker(
     let meter = Meter::default();
     ctx.stats.threads = threads as u64;
 
-    let (cuts, _) = build_global_cuts(ctx, shard, q, gbdt_core::QuantileSketch::DEFAULT_CAP);
+    let (cuts, _) = build_global_cuts(ctx, shard, q, gbdt_core::QuantileSketch::DEFAULT_CAP)?;
     let columns: BinnedColumns = ctx.time(Phase::Sketch, || cuts.apply(shard).to_columns());
     ctx.stats.data_bytes = columns.heap_bytes() as u64;
 
@@ -80,7 +80,8 @@ fn train_worker(
     let mut per_tree = Vec::with_capacity(config.n_trees);
     let mut hist_peak = 0usize;
 
-    for _ in 0..config.n_trees {
+    let start_tree = restore_tree_checkpoint(ctx, &mut model, &mut scores, &mut per_tree);
+    for t in start_tree..config.n_trees {
         ctx.time(Phase::Gradients, || {
             objective.compute_gradients(&scores, &shard.labels, &mut grads)
         });
@@ -96,13 +97,14 @@ fn train_worker(
                 }
             }
         });
-        all_reduce_stats(ctx, &mut root_stats);
+        all_reduce_stats(ctx, &mut root_stats)?;
         let mut count_buf = vec![n_local as f64];
-        ctx.comm.all_reduce_f64(&mut count_buf);
+        ctx.comm.all_reduce_f64(&mut count_buf)?;
         let mut frontier = Frontier::root(root_stats, count_buf[0] as u64);
         let mut leaves: Vec<u32> = Vec::new();
 
         for layer in 0..config.n_layers {
+            ctx.fault_point(t, layer);
             if frontier.nodes.is_empty() {
                 break;
             }
@@ -141,7 +143,7 @@ fn train_worker(
             let wire_before = ctx.comm.counters();
             for &node in &frontier.nodes {
                 let hist = hists[(node - layer_base) as usize].as_mut().expect("allocated");
-                ctx.comm.all_reduce_f64_codec(config.wire, hist.as_mut_slice());
+                ctx.comm.all_reduce_f64_codec(config.wire, hist.as_mut_slice())?;
             }
             record_layer_wire_bytes(ctx, layer, wire_before);
 
@@ -216,7 +218,7 @@ fn train_worker(
                     counts[2 * k + 1] = rc as f64;
                 }
             });
-            ctx.comm.all_reduce_f64(&mut counts);
+            ctx.comm.all_reduce_f64(&mut counts)?;
             for (k, (node, split)) in split_nodes.into_iter().enumerate() {
                 Frontier::push_children(
                     &mut next,
@@ -252,11 +254,12 @@ fn train_worker(
         index.reset();
         model.trees.push(tree);
         per_tree.push(tracker.lap(ctx));
+        save_tree_checkpoint(ctx, &model, &scores, &per_tree);
     }
     ctx.stats.histogram_peak_bytes = hist_peak as u64;
     ctx.stats.parallel_wall_seconds = meter.wall_seconds();
     ctx.stats.parallel_busy_seconds = meter.busy_seconds();
-    (model, per_tree)
+    Ok((model, per_tree))
 }
 
 /// One linear pass over the columns builds the histograms of a WHOLE layer:

@@ -15,12 +15,12 @@
 //! server-side split finding).
 
 use crate::common::{
-    all_reduce_stats, choose_global_best, record_layer_wire_bytes, shard_dataset,
-    subtraction_plan, worker_threads, Aggregation, DistTrainResult, Frontier, TreeStat,
-    TreeTracker,
+    all_reduce_stats, choose_global_best, record_layer_wire_bytes, restore_tree_checkpoint,
+    save_tree_checkpoint, shard_dataset, subtraction_plan, worker_threads, Aggregation,
+    DistTrainResult, Frontier, TreeStat, TreeTracker,
 };
 use gbdt_cluster::collectives::segment_bounds;
-use gbdt_cluster::{Cluster, Phase, WorkerCtx};
+use gbdt_cluster::{Cluster, CommError, Phase, WorkerCtx};
 use gbdt_core::histogram::HistogramPool;
 use gbdt_core::indexes::NodeToInstanceIndex;
 use gbdt_core::parallel::{self, Meter};
@@ -41,7 +41,7 @@ pub fn train(
 ) -> DistTrainResult {
     config.validate().expect("invalid training config");
     let partition = HorizontalPartition::new(dataset.n_instances(), cluster.world);
-    let (outputs, stats) = cluster.run(|ctx| {
+    let (outputs, stats) = cluster.run_recoverable(|ctx| {
         let shard = shard_dataset(dataset, partition, ctx.rank());
         train_worker(ctx, &shard, config, aggregation)
     });
@@ -60,7 +60,7 @@ fn train_worker(
     shard: &Dataset,
     config: &TrainConfig,
     aggregation: Aggregation,
-) -> (GbdtModel, Vec<TreeStat>) {
+) -> Result<(GbdtModel, Vec<TreeStat>), CommError> {
     let d = shard.n_features();
     let q = config.n_bins;
     let c = config.n_outputs();
@@ -73,7 +73,7 @@ fn train_worker(
     ctx.stats.threads = threads as u64;
 
     // Global candidate splits (local sketches merged across the cluster).
-    let (cuts, _) = build_global_cuts(ctx, shard, q, gbdt_core::QuantileSketch::DEFAULT_CAP);
+    let (cuts, _) = build_global_cuts(ctx, shard, q, gbdt_core::QuantileSketch::DEFAULT_CAP)?;
     let binned = ctx.time(Phase::Sketch, || cuts.apply(shard));
     ctx.stats.data_bytes = binned.heap_bytes() as u64;
 
@@ -102,7 +102,8 @@ fn train_worker(
     tracker.lap(ctx); // exclude sketch/binning setup from the first tree's cost
     let mut per_tree = Vec::with_capacity(config.n_trees);
 
-    for _ in 0..config.n_trees {
+    let start_tree = restore_tree_checkpoint(ctx, &mut model, &mut scores, &mut per_tree);
+    for t in start_tree..config.n_trees {
         ctx.time(Phase::Gradients, || {
             objective.compute_gradients(&scores, &shard.labels, &mut grads)
         });
@@ -117,13 +118,14 @@ fn train_worker(
             root_stats.grads.copy_from_slice(&g);
             root_stats.hesses.copy_from_slice(&h);
         });
-        all_reduce_stats(ctx, &mut root_stats);
+        all_reduce_stats(ctx, &mut root_stats)?;
         let mut count_buf = vec![n_local as f64];
-        ctx.comm.all_reduce_f64(&mut count_buf);
+        ctx.comm.all_reduce_f64(&mut count_buf)?;
         let mut frontier = Frontier::root(root_stats, count_buf[0] as u64);
         let mut leaves: Vec<u32> = Vec::new();
 
         for layer in 0..config.n_layers {
+            ctx.fault_point(t, layer);
             if frontier.nodes.is_empty() {
                 break;
             }
@@ -172,7 +174,7 @@ fn train_worker(
                 Aggregation::AllReduce => {
                     for &node in &build_nodes {
                         let hist = pool.get_mut(node).expect("just built");
-                        ctx.comm.all_reduce_f64_codec(config.wire, hist.as_mut_slice());
+                        ctx.comm.all_reduce_f64_codec(config.wire, hist.as_mut_slice())?;
                     }
                 }
                 Aggregation::ReduceScatter | Aggregation::ParameterServer => {
@@ -182,7 +184,7 @@ fn train_worker(
                             config.wire,
                             hist.as_slice(),
                             &elem_ranges,
-                        );
+                        )?;
                         let (lo, hi) = elem_ranges[rank];
                         hist.as_mut_slice()[lo..hi].copy_from_slice(&reduced);
                     }
@@ -239,7 +241,7 @@ fn train_worker(
                             })
                             .collect()
                     });
-                    exchange_local_bests(ctx, &locals)
+                    exchange_local_bests(ctx, &locals)?
                 }
             };
 
@@ -284,7 +286,7 @@ fn train_worker(
                     counts[2 * k + 1] = rc as f64;
                 }
             });
-            ctx.comm.all_reduce_f64(&mut counts);
+            ctx.comm.all_reduce_f64(&mut counts)?;
             for (k, (node, split)) in split_nodes.into_iter().enumerate() {
                 Frontier::push_children(
                     &mut next,
@@ -317,10 +319,11 @@ fn train_worker(
         index.reset();
         model.trees.push(tree);
         per_tree.push(tracker.lap(ctx));
+        save_tree_checkpoint(ctx, &model, &scores, &per_tree);
     }
     ctx.stats.parallel_wall_seconds = meter.wall_seconds();
     ctx.stats.parallel_busy_seconds = meter.busy_seconds();
-    (model, per_tree)
+    Ok((model, per_tree))
 }
 
 /// All-gathers per-node local best splits and resolves each node's global
@@ -329,7 +332,7 @@ fn train_worker(
 pub(crate) fn exchange_local_bests(
     ctx: &mut WorkerCtx,
     locals: &[Option<Split>],
-) -> Vec<Option<Split>> {
+) -> Result<Vec<Option<Split>>, CommError> {
     // Encode: per node, u8 present + length-prefixed split bytes.
     let mut payload = Vec::new();
     payload.extend_from_slice(&(locals.len() as u32).to_le_bytes());
@@ -344,7 +347,7 @@ pub(crate) fn exchange_local_bests(
             None => payload.push(0),
         }
     }
-    let gathered = ctx.comm.all_gather(bytes::Bytes::from(payload));
+    let gathered = ctx.comm.all_gather(bytes::Bytes::from(payload))?;
     let mut per_worker: Vec<Vec<Option<Split>>> = Vec::with_capacity(gathered.len());
     for buf in gathered {
         let mut pos = 0usize;
@@ -367,9 +370,9 @@ pub(crate) fn exchange_local_bests(
         }
         per_worker.push(list);
     }
-    (0..locals.len())
+    Ok((0..locals.len())
         .map(|k| choose_global_best(per_worker.iter().map(|w| w[k].clone())))
-        .collect()
+        .collect())
 }
 
 fn build_histogram(

@@ -20,11 +20,11 @@
 //! ensemble, which `tests/wire_determinism.rs` pins.
 
 use crate::common::{
-    shard_dataset, subtraction_plan, worker_threads, DistTrainResult, Frontier, TreeStat,
-    TreeTracker,
+    restore_tree_checkpoint, save_tree_checkpoint, shard_dataset, subtraction_plan,
+    worker_threads, DistTrainResult, Frontier, TreeStat, TreeTracker,
 };
 use crate::qd2::exchange_local_bests;
-use gbdt_cluster::{Cluster, Phase, WorkerCtx};
+use gbdt_cluster::{Cluster, CommError, Phase, WorkerCtx};
 use gbdt_core::histogram::HistogramPool;
 use gbdt_core::indexes::NodeToInstanceIndex;
 use gbdt_core::parallel::{self, Meter};
@@ -79,9 +79,9 @@ pub fn train_with_options(
 ) -> DistTrainResult {
     config.validate().expect("invalid training config");
     let partition = HorizontalPartition::new(dataset.n_instances(), cluster.world);
-    let (outputs, stats) = cluster.run(|ctx| {
+    let (outputs, stats) = cluster.run_recoverable(|ctx| {
         let shard = shard_dataset(dataset, partition, ctx.rank());
-        let transformed = horizontal_to_vertical(ctx, &shard, partition, transform_cfg);
+        let transformed = horizontal_to_vertical(ctx, &shard, partition, transform_cfg)?;
         train_worker_with_options(ctx, transformed, config, options)
     });
     let mut models = Vec::new();
@@ -102,7 +102,7 @@ pub(crate) fn train_worker_with_options(
     transformed: TransformOutput,
     config: &TrainConfig,
     options: Qd4Options,
-) -> (GbdtModel, Vec<TreeStat>) {
+) -> Result<(GbdtModel, Vec<TreeStat>), CommError> {
     let TransformOutput { cuts, grouping, local_data, labels, .. } = transformed;
     let rank = ctx.rank();
     let q = config.n_bins;
@@ -134,7 +134,8 @@ pub(crate) fn train_worker_with_options(
     tracker.lap(ctx); // exclude transform/setup from the first tree's cost
     let mut per_tree = Vec::with_capacity(config.n_trees);
 
-    for _ in 0..config.n_trees {
+    let start_tree = restore_tree_checkpoint(ctx, &mut model, &mut scores, &mut per_tree);
+    for t in start_tree..config.n_trees {
         // Every worker computes gradients for ALL instances (it has all
         // labels and all rows of its features).
         ctx.time(Phase::Gradients, || objective.compute_gradients(&scores, &labels, &mut grads));
@@ -153,6 +154,7 @@ pub(crate) fn train_worker_with_options(
         let mut leaves: Vec<u32> = Vec::new();
 
         for layer in 0..config.n_layers {
+            ctx.fault_point(t, layer);
             if frontier.nodes.is_empty() {
                 break;
             }
@@ -216,7 +218,7 @@ pub(crate) fn train_worker_with_options(
                     })
                     .collect()
             });
-            let decisions = exchange_local_bests(ctx, &locals);
+            let decisions = exchange_local_bests(ctx, &locals)?;
 
             // Node splitting via owner-computed placement bitmaps.
             let mut next = Frontier::default();
@@ -240,7 +242,7 @@ pub(crate) fn train_worker_with_options(
                         } else {
                             bytes::Bytes::new()
                         };
-                        let payload = ctx.comm.broadcast(owner, payload);
+                        let payload = ctx.comm.broadcast(owner, payload)?;
                         let bitmap = PlacementBitmap::decode_bytes(&payload)
                             .expect("owner broadcasts a well-formed bitmap");
                         let (lc, rc) = ctx.time(Phase::NodeSplit, || {
@@ -291,10 +293,11 @@ pub(crate) fn train_worker_with_options(
         index.reset();
         model.trees.push(tree);
         per_tree.push(tracker.lap(ctx));
+        save_tree_checkpoint(ctx, &model, &scores, &per_tree);
     }
     ctx.stats.parallel_wall_seconds = meter.wall_seconds();
     ctx.stats.parallel_busy_seconds = meter.busy_seconds();
-    (model, per_tree)
+    Ok((model, per_tree))
 }
 
 /// Builds the placement bitmap for `node` on the worker owning the split
@@ -436,9 +439,11 @@ mod tests {
             let tcfg = TransformConfig::default();
             let (outputs, stats) = cluster.run(|ctx| {
                 let shard = shard_dataset(&ds, partition, ctx.rank());
-                let transformed = horizontal_to_vertical(ctx, &shard, partition, &tcfg);
+                let transformed =
+                    horizontal_to_vertical(ctx, &shard, partition, &tcfg).unwrap();
                 let before_train = ctx.comm.counters().bytes_sent;
-                let out = train_worker_with_options(ctx, transformed, &cfg, Qd4Options::default());
+                let out = train_worker_with_options(ctx, transformed, &cfg, Qd4Options::default())
+                    .unwrap();
                 (out, ctx.comm.counters().bytes_sent - before_train)
             });
             let train_bytes: u64 = outputs.iter().map(|(_, b)| *b).sum();

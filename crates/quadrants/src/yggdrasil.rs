@@ -13,11 +13,11 @@
 //! codecs (including the lossy f32) train the identical ensemble.
 
 use crate::common::{
-    shard_dataset, subtraction_plan, worker_threads, DistTrainResult, Frontier, TreeStat,
-    TreeTracker,
+    restore_tree_checkpoint, save_tree_checkpoint, shard_dataset, subtraction_plan,
+    worker_threads, DistTrainResult, Frontier, TreeStat, TreeTracker,
 };
 use crate::qd2::exchange_local_bests;
-use gbdt_cluster::{Cluster, Phase, WorkerCtx};
+use gbdt_cluster::{Cluster, CommError, Phase, WorkerCtx};
 use gbdt_core::histogram::{add_instance_to_feature_slice, HistogramPool};
 use gbdt_core::indexes::{ColumnWiseIndex, NodeToInstanceIndex};
 use gbdt_core::parallel::{par_feature_fill, Meter};
@@ -34,9 +34,9 @@ pub fn train(cluster: &Cluster, dataset: &Dataset, config: &TrainConfig) -> Dist
     config.validate().expect("invalid training config");
     let partition = HorizontalPartition::new(dataset.n_instances(), cluster.world);
     let transform_cfg = TransformConfig::default();
-    let (outputs, stats) = cluster.run(|ctx| {
+    let (outputs, stats) = cluster.run_recoverable(|ctx| {
         let shard = shard_dataset(dataset, partition, ctx.rank());
-        let transformed = horizontal_to_vertical(ctx, &shard, partition, &transform_cfg);
+        let transformed = horizontal_to_vertical(ctx, &shard, partition, &transform_cfg)?;
         train_worker(ctx, transformed, config)
     });
     let mut models = Vec::new();
@@ -56,7 +56,7 @@ fn train_worker(
     ctx: &mut WorkerCtx,
     transformed: TransformOutput,
     config: &TrainConfig,
-) -> (GbdtModel, Vec<TreeStat>) {
+) -> Result<(GbdtModel, Vec<TreeStat>), CommError> {
     let TransformOutput { cuts, grouping, local_data, labels, .. } = transformed;
     let rank = ctx.rank();
     let q = config.n_bins;
@@ -93,7 +93,8 @@ fn train_worker(
     tracker.lap(ctx);
     let mut per_tree = Vec::with_capacity(config.n_trees);
 
-    for _ in 0..config.n_trees {
+    let start_tree = restore_tree_checkpoint(ctx, &mut model, &mut scores, &mut per_tree);
+    for t in start_tree..config.n_trees {
         ctx.time(Phase::Gradients, || objective.compute_gradients(&scores, &labels, &mut grads));
         let mut tree = Tree::new(config.n_layers, c);
 
@@ -109,6 +110,7 @@ fn train_worker(
         let mut leaves: Vec<u32> = Vec::new();
 
         for layer in 0..config.n_layers {
+            ctx.fault_point(t, layer);
             if frontier.nodes.is_empty() {
                 break;
             }
@@ -164,7 +166,7 @@ fn train_worker(
                     })
                     .collect()
             });
-            let decisions = exchange_local_bests(ctx, &locals);
+            let decisions = exchange_local_bests(ctx, &locals)?;
 
             let mut next = Frontier::default();
             for (&node, decision) in frontier.nodes.iter().zip(decisions) {
@@ -187,7 +189,7 @@ fn train_worker(
                         } else {
                             bytes::Bytes::new()
                         };
-                        let payload = ctx.comm.broadcast(owner, payload);
+                        let payload = ctx.comm.broadcast(owner, payload)?;
                         let bitmap = PlacementBitmap::decode_bytes(&payload)
                             .expect("owner broadcasts a well-formed bitmap");
                         let (lc, rc) = ctx.time(Phase::NodeSplit, || {
@@ -235,10 +237,11 @@ fn train_worker(
         ctx.time(Phase::NodeSplit, || cw_index.reset_from_columns(&columns));
         model.trees.push(tree);
         per_tree.push(tracker.lap(ctx));
+        save_tree_checkpoint(ctx, &model, &scores, &per_tree);
     }
     ctx.stats.parallel_wall_seconds = meter.wall_seconds();
     ctx.stats.parallel_busy_seconds = meter.busy_seconds();
-    (model, per_tree)
+    Ok((model, per_tree))
 }
 
 fn build_histogram(

@@ -1,6 +1,6 @@
 //! Vero system configuration.
 
-use gbdt_cluster::NetworkCostModel;
+use gbdt_cluster::{FaultPlan, NetworkCostModel};
 use gbdt_core::{Objective, TrainConfig, WireCodec};
 use gbdt_partition::transform::{TransformConfig, WireEncoding};
 use gbdt_partition::GroupingStrategy;
@@ -17,6 +17,9 @@ pub struct VeroConfig {
     pub train: TrainConfig,
     /// Horizontal-to-vertical transformation options.
     pub transform: TransformConfig,
+    /// Optional deterministic fault-injection plan (chaos testing). `None`
+    /// trains fault-free with zero overhead.
+    pub faults: Option<FaultPlan>,
 }
 
 impl VeroConfig {
@@ -29,6 +32,7 @@ impl VeroConfig {
                 network: NetworkCostModel::lab_cluster(),
                 train: TrainConfig::default(),
                 transform: TransformConfig::default(),
+                faults: None,
             },
         }
     }
@@ -122,6 +126,14 @@ impl VeroConfigBuilder {
     /// Sets the repartition wire format (default: blockified).
     pub fn encoding(mut self, encoding: WireEncoding) -> Self {
         self.cfg.transform.encoding = encoding;
+        self
+    }
+
+    /// Injects a deterministic fault plan (drops, duplicates, delays,
+    /// scheduled crashes, stragglers). Under any lossless plan the trained
+    /// ensemble is bit-identical to the fault-free run.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
         self
     }
 

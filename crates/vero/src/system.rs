@@ -36,7 +36,8 @@ impl Vero {
     /// (e.g. softmax class count ≠ `dataset.n_classes`).
     pub fn fit(config: &VeroConfig, dataset: &Dataset) -> TrainOutcome {
         check_objective(config, dataset);
-        let cluster = Cluster::with_cost(config.workers, config.network);
+        let cluster =
+            Cluster::with_cost(config.workers, config.network).with_faults(config.faults);
         let result =
             qd4::train_with_transform(&cluster, dataset, &config.train, &config.transform);
         TrainOutcome {

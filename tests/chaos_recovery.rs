@@ -1,0 +1,185 @@
+//! Chaos suite: the headline fault-tolerance guarantee.
+//!
+//! Under a seeded fault plan injecting message drops, duplicates, delays,
+//! and a mid-tree worker crash, every trainer must produce an ensemble
+//! **bit-identical** to its fault-free run — drops are retried, duplicates
+//! discarded, delays only charge modelled time, and the crashed attempt
+//! replays deterministically from the per-tree checkpoint. The stats must
+//! show the recovery actually happened (nonzero retries / recoveries), and
+//! fault-free byte accounting must stay deterministic.
+
+use gbdt_cluster::{Cluster, FaultPlan};
+use gbdt_core::{GbdtModel, Objective, TrainConfig};
+use gbdt_data::synthetic::SyntheticConfig;
+use gbdt_data::Dataset;
+use gbdt_quadrants::{featpar, qd1, qd2, qd3, qd4, single, yggdrasil, Aggregation, DistTrainResult};
+
+fn dataset(seed: u64) -> Dataset {
+    SyntheticConfig {
+        n_instances: 700,
+        n_features: 14,
+        n_classes: 2,
+        density: 0.5,
+        label_noise: 0.02,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+}
+
+fn config() -> TrainConfig {
+    TrainConfig::builder()
+        .n_trees(3)
+        .n_layers(4)
+        .objective(Objective::Logistic)
+        .build()
+        .unwrap()
+}
+
+/// The seeded chaos plan: 4% drops, 4% duplicates, 5% delays, and rank 1
+/// crashing mid-tree (tree 1, layer 1).
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::parse("4242:drop=0.04,dup=0.04,delay=0.05@0.0005,crash=1@1.1")
+        .expect("valid chaos spec")
+}
+
+/// Runs a trainer clean and under chaos, asserting bit-identical ensembles
+/// and that the faults demonstrably fired and were absorbed.
+fn assert_recovers(name: &str, train: impl Fn(&Cluster) -> DistTrainResult) {
+    let workers = 3;
+    let clean = train(&Cluster::new(workers));
+    assert_eq!(clean.stats.recoveries, 0, "{name}: clean run recovered");
+    assert_eq!(clean.stats.total_retries(), 0, "{name}: clean run retried");
+
+    let faulted = train(&Cluster::new(workers).with_faults(Some(chaos_plan())));
+    assert_eq!(
+        clean.model, faulted.model,
+        "{name}: chaos run must recover the bit-identical ensemble"
+    );
+    assert_eq!(faulted.stats.recoveries, 1, "{name}: the scheduled crash fires once");
+    assert!(faulted.stats.recovery_seconds > 0.0, "{name}: replay time is accounted");
+    assert!(faulted.stats.total_retries() > 0, "{name}: drops were retried");
+    assert!(
+        faulted.stats.total_duplicates_dropped() > 0,
+        "{name}: duplicates were detected"
+    );
+    assert!(
+        faulted.stats.total_bytes_sent() > clean.stats.total_bytes_sent(),
+        "{name}: retries and duplicates cost real bytes"
+    );
+}
+
+#[test]
+fn qd1_recovers_bit_identically() {
+    let ds = dataset(31);
+    let cfg = config();
+    assert_recovers("qd1", |c| qd1::train(c, &ds, &cfg));
+}
+
+#[test]
+fn qd2_all_reduce_recovers_bit_identically() {
+    let ds = dataset(32);
+    let cfg = config();
+    assert_recovers("qd2-allreduce", |c| qd2::train(c, &ds, &cfg, Aggregation::AllReduce));
+}
+
+#[test]
+fn qd2_reduce_scatter_and_ps_recover_bit_identically() {
+    let ds = dataset(33);
+    let cfg = config();
+    assert_recovers("qd2-reducescatter", |c| {
+        qd2::train(c, &ds, &cfg, Aggregation::ReduceScatter)
+    });
+    assert_recovers("qd2-ps", |c| qd2::train(c, &ds, &cfg, Aggregation::ParameterServer));
+}
+
+#[test]
+fn qd3_recovers_bit_identically() {
+    let ds = dataset(34);
+    let cfg = config();
+    assert_recovers("qd3", |c| qd3::train(c, &ds, &cfg));
+}
+
+#[test]
+fn qd4_recovers_bit_identically() {
+    let ds = dataset(35);
+    let cfg = config();
+    assert_recovers("qd4", |c| qd4::train(c, &ds, &cfg));
+}
+
+#[test]
+fn yggdrasil_recovers_bit_identically() {
+    let ds = dataset(36);
+    let cfg = config();
+    assert_recovers("yggdrasil", |c| yggdrasil::train(c, &ds, &cfg));
+}
+
+#[test]
+fn featpar_recovers_bit_identically() {
+    let ds = dataset(37);
+    let cfg = config();
+    assert_recovers("featpar", |c| featpar::train(c, &ds, &cfg));
+}
+
+/// A one-worker cluster has no network faults to inject, but a scheduled
+/// crash still kills and replays the worker — and the recovered ensemble
+/// must match both the fault-free distributed run and the plain
+/// single-machine trainer.
+#[test]
+fn single_worker_crash_recovers_bit_identically() {
+    let ds = dataset(38);
+    let cfg = config();
+    let clean = qd2::train(&Cluster::new(1), &ds, &cfg, Aggregation::AllReduce);
+
+    let plan = FaultPlan::parse("7:crash=0@1.1").unwrap();
+    let faulted = qd2::train(
+        &Cluster::new(1).with_faults(Some(plan)),
+        &ds,
+        &cfg,
+        Aggregation::AllReduce,
+    );
+    assert_eq!(clean.model, faulted.model, "single-worker crash must replay identically");
+    assert_eq!(faulted.stats.recoveries, 1);
+
+    // The distributed result agrees with the single-machine trainer.
+    let reference: GbdtModel = single::train(&ds, &cfg);
+    let pa = clean.model.predict_dataset_raw(&ds);
+    let pb = reference.predict_dataset_raw(&ds);
+    for (x, y) in pa.iter().zip(&pb) {
+        assert!((x - y).abs() < 1e-6, "cluster vs single diverged: {x} vs {y}");
+    }
+}
+
+/// Vero's public config carries the same knob end-to-end.
+#[test]
+fn vero_recovers_bit_identically() {
+    let ds = dataset(39);
+    let base = vero::VeroConfig::builder().workers(3).n_trees(3).n_layers(4);
+    let clean = vero::Vero::fit(&base.clone().build().unwrap(), &ds);
+    let faulted = vero::Vero::fit(&base.faults(chaos_plan()).build().unwrap(), &ds);
+    assert_eq!(clean.model, faulted.model, "Vero chaos run must recover identically");
+    assert_eq!(faulted.stats.recoveries, 1);
+    assert!(faulted.stats.total_retries() > 0);
+    assert_eq!(clean.stats.recoveries, 0);
+}
+
+/// With faults disabled the comm fast path must stay byte-for-byte
+/// deterministic — the accounting regression guard for the fault layer.
+#[test]
+fn fault_free_byte_accounting_is_deterministic() {
+    let ds = dataset(40);
+    let cfg = config();
+    let a = qd2::train(&Cluster::new(3), &ds, &cfg, Aggregation::AllReduce);
+    let b = qd2::train(
+        &Cluster::new(3).with_faults(None),
+        &ds,
+        &cfg,
+        Aggregation::AllReduce,
+    );
+    assert_eq!(a.stats.total_bytes_sent(), b.stats.total_bytes_sent());
+    assert_eq!(a.stats.total_logical_f64_bytes(), b.stats.total_logical_f64_bytes());
+    assert_eq!(a.stats.total_wire_f64_bytes(), b.stats.total_wire_f64_bytes());
+    assert_eq!(a.stats.total_retries(), 0);
+    assert_eq!(b.stats.total_retries(), 0);
+    assert_eq!(a.model, b.model);
+}

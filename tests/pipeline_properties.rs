@@ -52,7 +52,7 @@ proptest! {
         let tcfg_ref = &tcfg;
         let (outputs, _) = cluster.run(move |ctx| {
             let shard = shard_dataset(ds_ref, partition, ctx.rank());
-            horizontal_to_vertical(ctx, &shard, partition, tcfg_ref)
+            horizontal_to_vertical(ctx, &shard, partition, tcfg_ref).unwrap()
         });
         // Reference binning with the distributed cuts.
         let reference = outputs[0].cuts.apply(&ds);
