@@ -1,0 +1,111 @@
+//! Micro-benchmarks of the storage-specialized histogram kernels: the
+//! sparse pair walk vs the dense row scan (u8 and u16 cells, `C = 1` fast
+//! path vs multiclass), plus the dense column scan. The fully dense
+//! dataset is the dense layout's best case — the headline claims are that
+//! the `C = 1` u8 kernel beats the sparse walk by ≥ 2× there while packing
+//! the same values into ≤ ½ the heap bytes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbdt_core::histogram::NodeHistogram;
+use gbdt_core::kernels::{fill_column_slice, fill_dense_rows, fill_sparse_rows};
+use gbdt_core::GradBuffer;
+use gbdt_data::binned::BinnedRowsBuilder;
+use gbdt_data::dense_binned::{BinWidth, DenseBinnedRows};
+use gbdt_data::{BinnedRows, BinnedStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const N: usize = 20_000;
+const D: usize = 100;
+const Q: usize = 20;
+
+/// Fully dense binned rows: every `(row, feature)` cell is present — the
+/// regime the dense layout exists for.
+fn make_dense_data(seed: u64) -> BinnedRows {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = BinnedRowsBuilder::with_capacity(D, N, N * D);
+    let mut row: Vec<(u32, u16)> = Vec::with_capacity(D);
+    for _ in 0..N {
+        row.clear();
+        for j in 0..D as u32 {
+            row.push((j, rng.gen_range(0..Q as u16)));
+        }
+        b.push_row(&row).unwrap();
+    }
+    b.build()
+}
+
+fn make_grads(n: usize, c: usize) -> GradBuffer {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut g = GradBuffer::new(n, c);
+    for i in 0..n {
+        for k in 0..c {
+            g.set(i, k, rng.gen_range(-1.0..1.0), rng.gen_range(0.0..1.0));
+        }
+    }
+    g
+}
+
+fn bench_row_kernels(c: &mut Criterion) {
+    let sparse = make_dense_data(1);
+    let chunk: Vec<u32> = (0..N as u32).collect();
+
+    let mut group = c.benchmark_group("storage_row_kernels");
+    for n_outputs in [1usize, 4] {
+        let grads = make_grads(N, n_outputs);
+        group.bench_function(BenchmarkId::new("sparse", format!("C{n_outputs}")), |b| {
+            b.iter(|| {
+                let mut hist = NodeHistogram::new(D, Q, n_outputs);
+                fill_sparse_rows(&mut hist, &chunk, &sparse, &grads);
+                black_box(hist)
+            })
+        });
+        for width in [BinWidth::U8, BinWidth::U16] {
+            let dense = DenseBinnedRows::from_sparse_with_width(&sparse, Q, width);
+            let label = match width {
+                BinWidth::U8 => "dense_u8",
+                BinWidth::U16 => "dense_u16",
+            };
+            group.bench_function(BenchmarkId::new(label, format!("C{n_outputs}")), |b| {
+                b.iter(|| {
+                    let mut hist = NodeHistogram::new(D, Q, n_outputs);
+                    fill_dense_rows(&mut hist, &chunk, &dense, &grads);
+                    black_box(hist)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_column_kernels(c: &mut Criterion) {
+    let sparse = make_dense_data(2);
+    let grads = make_grads(N, 1);
+    let stores = [
+        ("sparse", BinnedStore::sparse(sparse.clone()).to_columns()),
+        ("dense_u8", BinnedStore::dense(sparse, Q).to_columns()),
+    ];
+
+    let mut group = c.benchmark_group("storage_column_kernels");
+    for (label, store) in &stores {
+        group.bench_function(BenchmarkId::new(*label, "C1"), |b| {
+            b.iter(|| {
+                let mut hist = NodeHistogram::new(D, Q, 1);
+                let stride = hist.feature_stride();
+                for (j, slice) in hist.as_mut_slice().chunks_mut(stride).enumerate() {
+                    fill_column_slice(slice, 1, store, j, &grads);
+                }
+                black_box(hist)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_row_kernels, bench_column_kernels
+}
+criterion_main!(benches);

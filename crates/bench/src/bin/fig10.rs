@@ -17,7 +17,7 @@ use gbdt_bench::args::Args;
 use gbdt_bench::output::ExperimentWriter;
 use gbdt_bench::systems::System;
 use gbdt_cluster::Cluster;
-use gbdt_core::{Objective, TrainConfig, WireCodec};
+use gbdt_core::{Objective, Storage, TrainConfig, WireCodec};
 use gbdt_data::synthetic::SyntheticConfig;
 use serde_json::json;
 
@@ -27,6 +27,7 @@ struct Knobs {
     trees: usize,
     threads: usize,
     wire: WireCodec,
+    storage: Storage,
 }
 
 struct Point {
@@ -67,6 +68,7 @@ fn config(p: &Point, knobs: Knobs) -> TrainConfig {
         .objective(objective)
         .threads(knobs.threads)
         .wire(knobs.wire)
+        .storage(knobs.storage)
         .build()
         .expect("valid fig10 config")
 }
@@ -100,7 +102,7 @@ fn main() {
     let scale = args.get_or("scale", 1.0f64);
     let workers = args.get_or("workers", 8usize);
     let trees = args.get_or("trees", 3usize);
-    let knobs = Knobs { trees, threads: args.threads(), wire: args.wire() };
+    let knobs = Knobs { trees, threads: args.threads(), wire: args.wire(), storage: args.storage() };
     let which = args.get("plot").map(str::to_string);
     let want = |p: &str| which.as_deref().is_none_or(|w| w == p);
     let sc = |n: usize| ((n as f64 / (500.0 * scale)) as usize).max(1000);

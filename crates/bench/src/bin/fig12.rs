@@ -43,6 +43,7 @@ fn main() {
         let mut cfg = config_for(&train, trees, layers);
         cfg.threads = args.threads();
         cfg.wire = args.wire();
+        cfg.storage = args.storage();
 
         w.section(&format!(
             "{name}: N={} D={} C={} W={workers} (10 Gbps links, paper §6)",

@@ -1,0 +1,130 @@
+//! Perf smoke for the dense binned storage fast path (PR 4).
+//!
+//! Trains a small ensemble on a fully dense synthetic dataset under each
+//! `--storage` layout with a row-scan quadrant (QD2) and a vertical
+//! row-store quadrant (QD4/Vero), recording trees/sec, peak histogram
+//! bytes, and binned-storage bytes per mode, plus a microbenchmark of the
+//! raw row kernels (sparse pair walk vs dense `u8` scan, `C = 1`). The
+//! report lands in `BENCH_PR4.json` (override with `--out`); ensembles are
+//! asserted bit-identical across every layout before anything is written.
+//!
+//! ```text
+//! cargo run --release --bin storage_smoke -- --trees 10
+//! ```
+
+use gbdt_bench::args::Args;
+use gbdt_bench::systems::System;
+use gbdt_cluster::Cluster;
+use gbdt_core::histogram::NodeHistogram;
+use gbdt_core::kernels::{fill_dense_rows, fill_sparse_rows};
+use gbdt_core::{GradBuffer, Storage, TrainConfig};
+use gbdt_core::binning::BinCuts;
+use gbdt_data::dense_binned::DenseBinnedRows;
+use gbdt_data::synthetic::SyntheticConfig;
+use serde_json::json;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse(&["trees", "seed", "scale", "out"], &[]);
+    let trees = args.get_or("trees", 8usize);
+    let seed = args.get_or("seed", 44u64);
+    let scale = args.get_or("scale", 1.0f64);
+    let out = args.get("out").unwrap_or("BENCH_PR4.json").to_string();
+
+    let ds = SyntheticConfig {
+        n_instances: ((6_000.0 * scale) as usize).max(500),
+        n_features: 60,
+        n_classes: 2,
+        density: 1.0,
+        seed,
+        ..Default::default()
+    }
+    .generate();
+    let cluster = Cluster::new(4);
+
+    // End-to-end: one horizontal row-scan quadrant and one vertical
+    // row-store quadrant under each layout policy.
+    let mut runs = Vec::new();
+    for system in [System::LightGbmLike, System::Vero] {
+        let mut reference = None;
+        for storage in Storage::ALL {
+            let cfg = TrainConfig::builder()
+                .n_trees(trees)
+                .n_layers(6)
+                .threads(args.threads())
+                .storage(storage)
+                .build()
+                .unwrap();
+            let start = Instant::now();
+            let result = system.run(&cluster, &ds, &cfg);
+            let wall = start.elapsed().as_secs_f64();
+            let model = reference.get_or_insert_with(|| result.model.clone());
+            assert_eq!(
+                *model,
+                result.model,
+                "{} trained a different ensemble under --storage {}",
+                system.name(),
+                storage.label()
+            );
+            runs.push(json!({
+                "system": system.name(),
+                "storage": storage.label(),
+                "trees_per_sec": trees as f64 / wall,
+                "wall_s": wall,
+                "peak_histogram_bytes": result.stats.max_histogram_bytes(),
+                "storage_bytes": result.stats.max_data_bytes(),
+            }));
+        }
+    }
+
+    // Kernel microbenchmark: the headline dense-vs-sparse claim on fully
+    // dense data, C = 1, u8 cells.
+    let sparse = BinCuts::from_dataset(&ds, 20).apply(&ds);
+    let dense = DenseBinnedRows::from_sparse(&sparse, 20);
+    let (n, d) = (sparse.n_rows(), sparse.n_features());
+    let mut grads = GradBuffer::new(n, 1);
+    for i in 0..n {
+        grads.set(i, 0, (i % 97) as f64 * 0.01 - 0.5, 1.0);
+    }
+    let chunk: Vec<u32> = (0..n as u32).collect();
+    let reps = 30usize.max((300.0 * scale) as usize / 10);
+    let time = |mut fill: Box<dyn FnMut(&mut NodeHistogram)>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let mut hist = NodeHistogram::new(d, 20, 1);
+            let start = Instant::now();
+            fill(&mut hist);
+            best = best.min(start.elapsed().as_secs_f64());
+            std::hint::black_box(&hist);
+        }
+        best
+    };
+    let t_sparse = time(Box::new(|h| fill_sparse_rows(h, &chunk, &sparse, &grads)));
+    let t_dense = time(Box::new(|h| fill_dense_rows(h, &chunk, &dense, &grads)));
+
+    let report = json!({
+        "benchmark": "PR4 dense binned storage fast path",
+        "dataset": {
+            "n_instances": ds.n_instances(),
+            "n_features": ds.n_features(),
+            "density": 1.0,
+            "n_bins": 20,
+            "trees": trees,
+            "workers": 4,
+        },
+        "end_to_end": runs,
+        "kernel_c1_u8": {
+            "sparse_fill_s": t_sparse,
+            "dense_fill_s": t_dense,
+            "dense_speedup": t_sparse / t_dense,
+            "sparse_heap_bytes": sparse.heap_bytes(),
+            "dense_heap_bytes": dense.heap_bytes(),
+            "dense_bytes_ratio": dense.heap_bytes() as f64 / sparse.heap_bytes() as f64,
+        },
+    });
+    std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap()).unwrap();
+    println!("kernel C=1 u8: dense {:.2}x faster, {:.2}x the bytes",
+        t_sparse / t_dense,
+        dense.heap_bytes() as f64 / sparse.heap_bytes() as f64);
+    println!("wrote {out}");
+}

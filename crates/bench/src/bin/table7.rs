@@ -29,6 +29,7 @@ fn main() {
             .n_layers(8)
             .threads(args.threads())
             .wire(args.wire())
+            .storage(args.storage())
             .build()
             .unwrap();
         let cluster = Cluster::new(5);

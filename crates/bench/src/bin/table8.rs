@@ -36,6 +36,7 @@ fn main() {
             .objective(objective)
             .threads(args.threads())
             .wire(args.wire())
+            .storage(args.storage())
             .build()
             .unwrap();
         let cluster = Cluster::new(workers);

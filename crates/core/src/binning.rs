@@ -8,10 +8,11 @@
 //! binned — they are the "missing values" the split finder routes through
 //! the learned default direction (§3.2.3).
 
+use crate::config::Storage;
 use crate::sketch::QuantileSketch;
 use gbdt_data::binned::BinnedRowsBuilder;
 use gbdt_data::dataset::{Dataset, FeatureMatrix};
-use gbdt_data::{BinId, BinnedRows, FeatureId};
+use gbdt_data::{BinId, BinnedRows, BinnedStore, FeatureId};
 use serde::{Deserialize, Serialize};
 
 /// Per-feature candidate split values.
@@ -142,6 +143,13 @@ impl BinCuts {
             }
         }
         builder.build()
+    }
+
+    /// Quantizes a dataset and wraps the result in the layout `storage`
+    /// selects. The cell width of a dense result is fixed by these cuts'
+    /// global [`Self::max_bins`], so every shard packs identically.
+    pub fn apply_store(&self, dataset: &Dataset, storage: Storage) -> BinnedStore {
+        storage.bin_store(self.apply(dataset), self.max_bins())
     }
 
     /// Exact wire encoding, for broadcasting candidate splits (§4.2.1 step 2).

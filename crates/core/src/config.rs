@@ -67,6 +67,76 @@ impl std::fmt::Display for WireCodec {
     }
 }
 
+/// Binned-storage layout policy (§3.2 storage patterns).
+///
+/// Decides, at binning time, whether trainers scan the sparse
+/// 〈feature, bin〉-pair layout or the dense one-cell-per-`(row, feature)`
+/// layout with width-specialized histogram kernels. Every choice trains a
+/// **bit-identical** ensemble — both layouts scan values in the same
+/// ascending order — so this knob trades only memory and scan throughput.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Storage {
+    /// Pick dense when the stored-value density of the binned matrix
+    /// reaches `gbdt_data::DEFAULT_DENSE_THRESHOLD`, sparse otherwise.
+    #[default]
+    Auto,
+    /// Always the sparse pair layout (the pre-existing storage).
+    Sparse,
+    /// Always the dense cell layout (u8 cells when `q ≤ 255`, else u16).
+    Dense,
+}
+
+impl Storage {
+    /// All policies, in display order.
+    pub const ALL: [Storage; 3] = [Storage::Auto, Storage::Sparse, Storage::Dense];
+
+    /// Short label for reports and CLI echo.
+    pub fn label(self) -> &'static str {
+        match self {
+            Storage::Auto => "auto",
+            Storage::Sparse => "sparse",
+            Storage::Dense => "dense",
+        }
+    }
+
+    /// Applies the policy to already-binned rows. `n_bins` is the global
+    /// histogram width (it fixes the dense cell width deterministically, so
+    /// every shard of one dataset packs identically).
+    pub fn bin_store(
+        self,
+        rows: gbdt_data::BinnedRows,
+        n_bins: usize,
+    ) -> gbdt_data::BinnedStore {
+        use gbdt_data::BinnedStore;
+        match self {
+            Storage::Sparse => BinnedStore::sparse(rows),
+            Storage::Dense => BinnedStore::dense(rows, n_bins),
+            Storage::Auto => {
+                BinnedStore::auto(rows, n_bins, gbdt_data::DEFAULT_DENSE_THRESHOLD)
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for Storage {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Storage::Auto),
+            "sparse" => Ok(Storage::Sparse),
+            "dense" => Ok(Storage::Dense),
+            other => Err(format!("unknown storage '{other}' (expected auto|sparse|dense)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Storage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// GBDT training configuration, using the paper's symbols.
 ///
 /// Defaults follow §5.1: `T = 100` trees, `L = 8` layers, `q = 20` candidate
@@ -101,6 +171,10 @@ pub struct TrainConfig {
     /// ensembles; trainers that never ship histograms (the vertical
     /// quadrants) ignore it entirely.
     pub wire: WireCodec,
+    /// Binned-storage layout policy. Every choice trains a bit-identical
+    /// ensemble; `Auto` densifies when the binned matrix is dense enough
+    /// for the cell layout to win on bytes and scan speed.
+    pub storage: Storage,
 }
 
 impl Default for TrainConfig {
@@ -117,6 +191,7 @@ impl Default for TrainConfig {
             objective: Objective::Logistic,
             threads: 0,
             wire: WireCodec::Dense,
+            storage: Storage::Auto,
         }
     }
 }
@@ -230,6 +305,13 @@ impl TrainConfigBuilder {
         self
     }
 
+    /// Sets the binned-storage layout policy (default [`Storage::Auto`];
+    /// results are bit-identical for every value).
+    pub fn storage(mut self, storage: Storage) -> Self {
+        self.cfg.storage = storage;
+        self
+    }
+
     /// Finalizes, validating all parameters.
     pub fn build(self) -> Result<TrainConfig, String> {
         self.cfg.validate()?;
@@ -295,6 +377,41 @@ mod tests {
     fn builder_sets_wire_codec() {
         let cfg = TrainConfig::builder().wire(WireCodec::Auto).build().unwrap();
         assert_eq!(cfg.wire, WireCodec::Auto);
+    }
+
+    #[test]
+    fn default_storage_is_auto() {
+        assert_eq!(TrainConfig::default().storage, Storage::Auto);
+    }
+
+    #[test]
+    fn storage_parses_cli_names() {
+        for storage in Storage::ALL {
+            assert_eq!(storage.label().parse::<Storage>().unwrap(), storage);
+            assert_eq!(format!("{storage}"), storage.label());
+        }
+        assert!("columnar".parse::<Storage>().is_err());
+    }
+
+    #[test]
+    fn builder_sets_storage() {
+        let cfg = TrainConfig::builder().storage(Storage::Dense).build().unwrap();
+        assert_eq!(cfg.storage, Storage::Dense);
+    }
+
+    #[test]
+    fn bin_store_follows_policy() {
+        use gbdt_data::binned::BinnedRowsBuilder;
+        let rows = || {
+            let mut b = BinnedRowsBuilder::new(2);
+            b.push_row(&[(0, 0), (1, 1)]).unwrap();
+            b.push_row(&[(0, 1), (1, 0)]).unwrap();
+            b.build()
+        };
+        assert!(!Storage::Sparse.bin_store(rows(), 2).is_dense());
+        assert!(Storage::Dense.bin_store(rows(), 2).is_dense());
+        // Fully dense data crosses the auto threshold.
+        assert!(Storage::Auto.bin_store(rows(), 2).is_dense());
     }
 
     #[test]

@@ -60,7 +60,7 @@ impl NodeHistogram {
 
     /// Resets all bins to zero without reallocating.
     pub fn zero(&mut self) {
-        self.data.iter_mut().for_each(|x| *x = 0.0);
+        self.data.fill(0.0);
     }
 
     #[inline]
@@ -295,8 +295,14 @@ impl HistogramPool {
     }
 
     /// Replaces the histogram of `node` (used after aggregation rounds).
+    ///
+    /// The full shape must match: a histogram with the right feature count
+    /// but the wrong bin or class width would silently corrupt every
+    /// subtraction and split scan downstream, so it fails loudly here.
     pub fn insert(&mut self, node: u32, hist: NodeHistogram) {
-        assert_eq!(hist.n_features, self.n_features, "histogram shape mismatch");
+        assert_eq!(hist.n_features, self.n_features, "histogram feature-count mismatch");
+        assert_eq!(hist.n_bins, self.n_bins, "histogram bin-count mismatch");
+        assert_eq!(hist.n_outputs, self.n_outputs, "histogram class-count mismatch");
         if self.live.insert(node, hist).is_none() {
             self.current_bytes += self.hist_bytes();
             self.peak_bytes = self.peak_bytes.max(self.current_bytes);
@@ -471,6 +477,22 @@ mod tests {
         let sib = pool.get(2).unwrap();
         assert_eq!(sib.get(0, 0, 0), GradPair::new(7.0, 7.0));
         assert_eq!(sib.get(0, 1, 0), GradPair::new(4.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bin-count mismatch")]
+    fn pool_insert_rejects_wrong_bin_count() {
+        // Same feature count, different q — the old n_features-only check
+        // let this through and downstream subtraction corrupted silently.
+        let mut pool = HistogramPool::new(2, 8, 1);
+        pool.insert(0, NodeHistogram::new(2, 4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "class-count mismatch")]
+    fn pool_insert_rejects_wrong_class_count() {
+        let mut pool = HistogramPool::new(2, 8, 2);
+        pool.insert(0, NodeHistogram::new(2, 8, 1));
     }
 
     #[test]

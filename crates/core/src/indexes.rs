@@ -15,7 +15,7 @@
 //!   O(1), but every node split must repartition all D columns — the
 //!   D-times-higher split cost the paper calls out.
 
-use gbdt_data::{BinId, BinnedColumns, InstanceId};
+use gbdt_data::{BinId, BinnedColumns, ColumnStore, InstanceId};
 use std::collections::HashMap;
 
 /// Node-to-instance index: a positions array partitioned by tree node.
@@ -121,7 +121,7 @@ impl InstanceToNodeIndex {
 
     /// Resets every instance back to the root.
     pub fn reset(&mut self) {
-        self.nodes.iter_mut().for_each(|n| *n = 0);
+        self.nodes.fill(0);
     }
 
     /// Node currently holding `instance`.
@@ -195,6 +195,31 @@ impl ColumnWiseIndex {
         ColumnWiseIndex { n_rows: columns.n_rows(), col_rows, col_bins, ranges }
     }
 
+    /// Builds the index from either column-store layout. A dense store
+    /// contributes exactly its present cells in ascending instance order —
+    /// the same pairs, in the same order, as the sparse store — so the
+    /// resulting index (and everything trained from it) is identical.
+    pub fn from_store(columns: &ColumnStore) -> Self {
+        let d = columns.n_features();
+        let mut col_rows = Vec::with_capacity(d);
+        let mut col_bins = Vec::with_capacity(d);
+        let mut root_ranges = Vec::with_capacity(d);
+        for j in 0..d {
+            let mut rows: Vec<InstanceId> = Vec::new();
+            let mut bins: Vec<BinId> = Vec::new();
+            columns.for_each_in_col(j, |i, b| {
+                rows.push(i);
+                bins.push(b);
+            });
+            root_ranges.push((0u32, rows.len() as u32));
+            col_rows.push(rows);
+            col_bins.push(bins);
+        }
+        let mut ranges = HashMap::new();
+        ranges.insert(0, root_ranges);
+        ColumnWiseIndex { n_rows: columns.n_rows(), col_rows, col_bins, ranges }
+    }
+
     /// Number of instances in the underlying data.
     pub fn n_rows(&self) -> usize {
         self.n_rows
@@ -257,6 +282,11 @@ impl ColumnWiseIndex {
     /// here we just merge all ranges back to root by re-sorting columns).
     pub fn reset_from_columns(&mut self, columns: &BinnedColumns) {
         *self = Self::from_columns(columns);
+    }
+
+    /// [`Self::reset_from_columns`] for either column-store layout.
+    pub fn reset_from_store(&mut self, columns: &ColumnStore) {
+        *self = Self::from_store(columns);
     }
 
     /// Bytes of heap storage used.
@@ -340,6 +370,24 @@ mod tests {
         assert_eq!(idx.node_column(2, 1), (&[3u32][..], &[7u16][..]));
         // Untracked node yields empty slices.
         assert_eq!(idx.node_column(9, 0).0.len(), 0);
+    }
+
+    #[test]
+    fn column_wise_index_identical_from_either_layout() {
+        let mut b = BinnedRowsBuilder::new(2);
+        b.push_row(&[(0, 1), (1, 5)]).unwrap();
+        b.push_row(&[(0, 2)]).unwrap();
+        b.push_row(&[(1, 6)]).unwrap();
+        b.push_row(&[(0, 3), (1, 7)]).unwrap();
+        let rows = b.build();
+        let sparse = gbdt_data::BinnedStore::sparse(rows.clone()).to_columns();
+        let dense = gbdt_data::BinnedStore::dense(rows, 8).to_columns();
+        let a = ColumnWiseIndex::from_store(&sparse);
+        let bx = ColumnWiseIndex::from_store(&dense);
+        for j in 0..2 {
+            assert_eq!(a.node_column(0, j), bx.node_column(0, j), "column {j}");
+        }
+        assert_eq!(a.heap_bytes(), bx.heap_bytes());
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Storage-specialized histogram-build kernels.
+//!
+//! Histogram construction is the dominant computation cost of every
+//! quadrant (§3.1.1), and its inner loop shape depends on the binned
+//! storage layout. The sparse kernel walks a row's 〈feature, bin〉 pairs —
+//! one `u32` feature-id load plus the three-level offset multiply per
+//! value. The dense kernels scan the packed cell row directly: the feature
+//! id **is** the loop position, so the per-feature histogram region
+//! advances by a constant stride (`chunks_exact_mut`) with no id loads and
+//! no per-feature offset multiplies, and the `C = 1` fast path accumulates
+//! the interleaved `(g, h)` pair without the per-class loop that
+//! [`NodeHistogram::add_instance`] runs.
+//!
+//! Each kernel is monomorphized over (cell width × C==1 vs multiclass) via
+//! [`Cell`], so the hot loop compiles with the width and class count baked
+//! in. All kernels visit values in ascending feature order and skip missing
+//! cells — exactly the sparse pair order — so a histogram built from either
+//! layout is **bit-identical**, and they slot into
+//! [`crate::parallel::build_histogram_chunked`] as chunk fills without
+//! touching the PR-1 determinism invariant.
+
+use crate::gradients::GradBuffer;
+use crate::histogram::NodeHistogram;
+use gbdt_data::dense_binned::{BinPack, DenseBinnedRows, MISSING_U16, MISSING_U8};
+use gbdt_data::{BinId, BinnedRows, BinnedStore};
+
+/// A packed bin cell: `u8` or `u16` with the all-ones missing sentinel.
+pub trait Cell: Copy {
+    /// Whether this cell is the missing sentinel.
+    fn is_missing(self) -> bool;
+    /// The bin index (only meaningful when present).
+    fn bin(self) -> usize;
+}
+
+impl Cell for u8 {
+    #[inline(always)]
+    fn is_missing(self) -> bool {
+        self == MISSING_U8
+    }
+
+    #[inline(always)]
+    fn bin(self) -> usize {
+        self as usize
+    }
+}
+
+impl Cell for u16 {
+    #[inline(always)]
+    fn is_missing(self) -> bool {
+        self == MISSING_U16
+    }
+
+    #[inline(always)]
+    fn bin(self) -> usize {
+        self as usize
+    }
+}
+
+/// Accumulates one chunk of instances into `hist` from whichever layout
+/// `store` holds. This is the chunk-fill body every row-scan trainer hands
+/// to [`crate::parallel::build_histogram_chunked`].
+#[inline]
+pub fn fill_rows_chunk(
+    hist: &mut NodeHistogram,
+    chunk: &[u32],
+    store: &BinnedStore,
+    grads: &GradBuffer,
+) {
+    match store {
+        BinnedStore::Sparse(rows) => fill_sparse_rows(hist, chunk, rows, grads),
+        BinnedStore::Dense(dense) => fill_dense_rows(hist, chunk, dense, grads),
+    }
+}
+
+/// The sparse row kernel: walk each row's 〈feature, bin〉 pairs.
+pub fn fill_sparse_rows(
+    hist: &mut NodeHistogram,
+    chunk: &[u32],
+    rows: &BinnedRows,
+    grads: &GradBuffer,
+) {
+    for &i in chunk {
+        let (g, h) = grads.instance(i as usize);
+        let (feats, bins) = rows.row(i as usize);
+        for (&f, &b) in feats.iter().zip(bins) {
+            hist.add_instance(f, b, g, h);
+        }
+    }
+}
+
+/// The dense row kernel, dispatching on cell width and class count.
+pub fn fill_dense_rows(
+    hist: &mut NodeHistogram,
+    chunk: &[u32],
+    dense: &DenseBinnedRows,
+    grads: &GradBuffer,
+) {
+    debug_assert_eq!(hist.n_features(), dense.n_features(), "kernel shape mismatch");
+    debug_assert!(dense.n_bins() <= hist.n_bins(), "cells packed for a wider histogram");
+    match (dense.pack(), hist.n_outputs()) {
+        (BinPack::U8(cells), 1) => dense_rows_c1(hist, chunk, cells, grads),
+        (BinPack::U16(cells), 1) => dense_rows_c1(hist, chunk, cells, grads),
+        (BinPack::U8(cells), _) => dense_rows_multi(hist, chunk, cells, grads),
+        (BinPack::U16(cells), _) => dense_rows_multi(hist, chunk, cells, grads),
+    }
+}
+
+/// Dense scan, `C = 1`: the histogram region of feature `f` is the `f`-th
+/// `2·q` window, so the scan zips the cell row against constant-stride
+/// windows and adds the interleaved `(g, h)` pair directly.
+fn dense_rows_c1<T: Cell>(
+    hist: &mut NodeHistogram,
+    chunk: &[u32],
+    cells: &[T],
+    grads: &GradBuffer,
+) {
+    let d = hist.n_features();
+    let stride = hist.feature_stride();
+    let data = hist.as_mut_slice();
+    for &i in chunk {
+        let (g, h) = grads.instance(i as usize);
+        let (g, h) = (g[0], h[0]);
+        let row = &cells[i as usize * d..i as usize * d + d];
+        for (feat_region, &cell) in data.chunks_exact_mut(stride).zip(row) {
+            if cell.is_missing() {
+                continue;
+            }
+            let k = cell.bin() * 2;
+            feat_region[k] += g;
+            feat_region[k + 1] += h;
+        }
+    }
+}
+
+/// Dense scan, multiclass: same constant-stride walk, all `C` pairs per
+/// present cell.
+fn dense_rows_multi<T: Cell>(
+    hist: &mut NodeHistogram,
+    chunk: &[u32],
+    cells: &[T],
+    grads: &GradBuffer,
+) {
+    let d = hist.n_features();
+    let c = hist.n_outputs();
+    let stride = hist.feature_stride();
+    let data = hist.as_mut_slice();
+    for &i in chunk {
+        let (g, h) = grads.instance(i as usize);
+        let row = &cells[i as usize * d..i as usize * d + d];
+        for (feat_region, &cell) in data.chunks_exact_mut(stride).zip(row) {
+            if cell.is_missing() {
+                continue;
+            }
+            let slot = &mut feat_region[cell.bin() * c * 2..(cell.bin() + 1) * c * 2];
+            for k in 0..c {
+                slot[k * 2] += g[k];
+                slot[k * 2 + 1] += h[k];
+            }
+        }
+    }
+}
+
+/// Accumulates every present value of one column into that feature's
+/// histogram region (layout `[bin][class][g,h]`), instances ascending —
+/// the column-scan kernel the per-feature-parallel builders use. For the
+/// dense layout the inner loop is a straight cell scan with no instance-id
+/// loads; `C = 1` drops the per-class loop.
+pub fn fill_column_slice(
+    slice: &mut [f64],
+    n_outputs: usize,
+    store: &gbdt_data::ColumnStore,
+    col: usize,
+    grads: &GradBuffer,
+) {
+    use gbdt_data::ColumnStore;
+    match (store, n_outputs) {
+        (ColumnStore::Dense(d), 1) => match d.pack() {
+            BinPack::U8(cells) => dense_col_c1(slice, &cells[col * d.n_rows()..][..d.n_rows()], grads),
+            BinPack::U16(cells) => {
+                dense_col_c1(slice, &cells[col * d.n_rows()..][..d.n_rows()], grads)
+            }
+        },
+        _ => store.for_each_in_col(col, |i, b| {
+            let (g, h) = grads.instance(i as usize);
+            crate::histogram::add_instance_to_feature_slice(slice, n_outputs, b, g, h);
+        }),
+    }
+}
+
+fn dense_col_c1<T: Cell>(slice: &mut [f64], cells: &[T], grads: &GradBuffer) {
+    for (i, &cell) in cells.iter().enumerate() {
+        if cell.is_missing() {
+            continue;
+        }
+        let (g, h) = grads.instance(i);
+        let k = cell.bin() * 2;
+        slice[k] += g[0];
+        slice[k + 1] += h[0];
+    }
+}
+
+/// Bin lookup shared by split-placement paths: `None` routes through the
+/// learned default direction. O(1) on the dense layout.
+#[inline]
+pub fn lookup(store: &BinnedStore, row: usize, feature: u32) -> Option<BinId> {
+    store.get(row, feature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbdt_data::binned::BinnedRowsBuilder;
+    use gbdt_data::dense_binned::BinWidth;
+    use gbdt_data::FeatureId;
+
+    /// A deterministic ragged matrix: ~2/3 of cells present.
+    fn rows(n: usize, d: usize, q: usize) -> BinnedRows {
+        let mut b = BinnedRowsBuilder::new(d);
+        for i in 0..n {
+            let entries: Vec<(FeatureId, u16)> = (0..d)
+                .filter(|j| (i + j) % 3 != 0)
+                .map(|j| (j as FeatureId, ((i * 7 + j * 13) % q) as u16))
+                .collect();
+            b.push_row(&entries).unwrap();
+        }
+        b.build()
+    }
+
+    fn grads(n: usize, c: usize) -> GradBuffer {
+        let mut g = GradBuffer::new(n, c);
+        for i in 0..n {
+            for k in 0..c {
+                g.set(i, k, (i as f64 + k as f64) * 0.3517, (i as f64 - k as f64) * 0.636);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn dense_kernels_match_sparse_bit_for_bit() {
+        let (n, d, q) = (257, 11, 6);
+        for c in [1usize, 3] {
+            let sparse = rows(n, d, q);
+            let g = grads(n, c);
+            let chunk: Vec<u32> = (0..n as u32).collect();
+            let mut expect = NodeHistogram::new(d, q, c);
+            fill_sparse_rows(&mut expect, &chunk, &sparse, &g);
+            for width in [BinWidth::U8, BinWidth::U16] {
+                let dense = DenseBinnedRows::from_sparse_with_width(&sparse, q, width);
+                let mut got = NodeHistogram::new(d, q, c);
+                fill_dense_rows(&mut got, &chunk, &dense, &g);
+                assert_eq!(got.as_slice(), expect.as_slice(), "C={c} {width:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn store_dispatch_matches_direct_kernels() {
+        let (n, d, q) = (64, 7, 5);
+        let sparse = rows(n, d, q);
+        let g = grads(n, 1);
+        let chunk: Vec<u32> = (0..n as u32).collect();
+        let mut via_sparse = NodeHistogram::new(d, q, 1);
+        fill_rows_chunk(&mut via_sparse, &chunk, &BinnedStore::sparse(sparse.clone()), &g);
+        let mut via_dense = NodeHistogram::new(d, q, 1);
+        fill_rows_chunk(&mut via_dense, &chunk, &BinnedStore::dense(sparse, q), &g);
+        assert_eq!(via_sparse.as_slice(), via_dense.as_slice());
+    }
+
+    #[test]
+    fn column_kernel_matches_row_kernel() {
+        let (n, d, q) = (97, 9, 8);
+        for c in [1usize, 2] {
+            let sparse = rows(n, d, q);
+            let g = grads(n, c);
+            let chunk: Vec<u32> = (0..n as u32).collect();
+            let mut expect = NodeHistogram::new(d, q, c);
+            fill_sparse_rows(&mut expect, &chunk, &sparse, &g);
+            for store in [
+                BinnedStore::sparse(sparse.clone()).to_columns(),
+                BinnedStore::dense(sparse.clone(), q).to_columns(),
+            ] {
+                let mut got = NodeHistogram::new(d, q, c);
+                let stride = got.feature_stride();
+                for (j, slice) in got.as_mut_slice().chunks_mut(stride).enumerate() {
+                    fill_column_slice(slice, c, &store, j, &g);
+                }
+                assert_eq!(got.as_slice(), expect.as_slice(), "C={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_agrees_across_layouts() {
+        let sparse = rows(20, 5, 4);
+        let s = BinnedStore::sparse(sparse.clone());
+        let d = BinnedStore::dense(sparse, 4);
+        for i in 0..20 {
+            for j in 0..5u32 {
+                assert_eq!(lookup(&s, i, j), lookup(&d, i, j));
+            }
+        }
+    }
+}

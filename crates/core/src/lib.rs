@@ -21,12 +21,16 @@
 //! * [`metrics`] — AUC, accuracy, RMSE, log-loss.
 //! * [`parallel`] — deterministic intra-worker multi-core execution
 //!   (chunked histogram map-reduce, feature-fanned split finding).
+//! * [`kernels`] — storage-specialized histogram-build kernels (dense row
+//!   and column scans, `C = 1` fast path) that are bit-identical to the
+//!   sparse pair walk.
 
 pub mod binning;
 pub mod config;
 pub mod gradients;
 pub mod histogram;
 pub mod indexes;
+pub mod kernels;
 pub mod loss;
 pub mod metrics;
 pub mod model;
@@ -36,7 +40,7 @@ pub mod split;
 pub mod tree;
 
 pub use binning::BinCuts;
-pub use config::{TrainConfig, WireCodec};
+pub use config::{Storage, TrainConfig, WireCodec};
 pub use gradients::{GradBuffer, GradPair};
 pub use histogram::NodeHistogram;
 pub use loss::Objective;

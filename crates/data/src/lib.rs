@@ -19,6 +19,9 @@
 //!   the evaluation (Tables 2, 4).
 //! * [`binned`] — bin-encoded matrices used after quantization: `BinnedRows`
 //!   (row-store of 〈feature, bin〉 pairs) and `BinnedColumns` (column-store).
+//! * [`dense_binned`] — dense bin-encoded matrices (one u8/u16 cell per
+//!   `(row, feature)` with a missing sentinel) and the `BinnedStore`/
+//!   `ColumnStore` wrappers that pick dense vs sparse by density.
 //! * [`block`] — blockified column groups with two-phase indexing and block
 //!   merge (paper §4.2.3, Figure 9).
 //! * [`encoding`] — key-value pair encodings: naïve 12-byte pairs vs the
@@ -26,6 +29,7 @@
 
 pub mod binned;
 pub mod block;
+pub mod dense_binned;
 pub mod csv;
 pub mod dataset;
 pub mod dense;
@@ -37,6 +41,10 @@ pub mod synthetic;
 
 pub use binned::{BinnedColumns, BinnedRows};
 pub use block::{Block, BlockedRows};
+pub use dense_binned::{
+    BinPack, BinWidth, BinnedStore, ColumnStore, DenseBinnedColumns, DenseBinnedRows,
+    DEFAULT_DENSE_THRESHOLD,
+};
 pub use dataset::{Dataset, FeatureMatrix};
 pub use dense::DenseMatrix;
 pub use error::DataError;

@@ -4,9 +4,10 @@
 
 use gbdt_data::binned::BinnedRowsBuilder;
 use gbdt_data::block::{Block, BlockedRows};
+use gbdt_data::dense_binned::{BinWidth, DenseBinnedRows};
 use gbdt_data::encoding;
 use gbdt_data::sparse::CsrBuilder;
-use gbdt_data::{BinId, BinnedRows, FeatureId};
+use gbdt_data::{BinId, BinnedRows, BinnedStore, FeatureId};
 use proptest::prelude::*;
 
 /// Strategy: a sparse matrix as rows of sorted, distinct (feature, value).
@@ -93,6 +94,46 @@ proptest! {
                 prop_assert_eq!(b.get(i, f), m.get(i, f + 4));
             }
         }
+    }
+
+    #[test]
+    fn dense_sparse_roundtrip_both_widths(rows in arb_binned(30, 8, 16)) {
+        let m = build_binned(&rows, 8);
+        for width in [BinWidth::U8, BinWidth::U16] {
+            let d = DenseBinnedRows::from_sparse_with_width(&m, 16, width);
+            prop_assert_eq!(d.to_sparse(), m.clone());
+            prop_assert_eq!(d.nnz(), m.nnz());
+            for i in 0..m.n_rows() {
+                for f in 0u32..8 {
+                    prop_assert_eq!(d.get(i, f), m.get(i, f));
+                    prop_assert_eq!(d.to_columns().get(i, f), m.get(i, f));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_shard_ops_are_layout_invariant(rows in arb_binned(30, 8, 16), cut in 0usize..30) {
+        // slice_rows, select_cols, and the column transpose must see through
+        // the layout: the dense store's results, lowered back to sparse rows,
+        // equal the sparse store's.
+        let m = build_binned(&rows, 8);
+        let sparse = BinnedStore::sparse(m.clone());
+        let dense = BinnedStore::dense(m.clone(), 16);
+        let cut = cut.min(m.n_rows());
+        prop_assert_eq!(
+            sparse.slice_rows(cut, m.n_rows()).to_sparse_rows(),
+            dense.slice_rows(cut, m.n_rows()).to_sparse_rows()
+        );
+        let cols: Vec<FeatureId> = (0u32..8).step_by(2).collect();
+        prop_assert_eq!(
+            sparse.select_cols(&cols).to_sparse_rows(),
+            dense.select_cols(&cols).to_sparse_rows()
+        );
+        prop_assert_eq!(
+            sparse.to_columns().to_rows().to_sparse_rows(),
+            dense.to_columns().to_rows().to_sparse_rows()
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@ use gbdt_core::split::{best_split_parallel, NodeStats, Split, SplitParams};
 use gbdt_core::tree::{self, Tree};
 use gbdt_core::{BinCuts, GbdtModel, GradBuffer, TrainConfig};
 use gbdt_data::dataset::Dataset;
-use gbdt_data::{BinnedRows, FeatureId};
+use gbdt_data::{BinnedStore, FeatureId};
 use gbdt_partition::{ColumnGrouping, GroupingStrategy};
 
 /// Trains feature-parallel on `cluster.world` workers (full replica each).
@@ -66,18 +66,16 @@ fn train_worker(
 
     // Full local copy: sketch, bin, and group features — all locally.
     let cuts = ctx.time(Phase::Sketch, || BinCuts::from_dataset(dataset, q));
-    let full: BinnedRows = ctx.time(Phase::Sketch, || cuts.apply(dataset));
+    let full: BinnedStore = ctx.time(Phase::Sketch, || cuts.apply_store(dataset, config.storage));
     let grouping = ctx.time(Phase::Sketch, || {
         let mut weights = vec![0u64; d];
         for i in 0..n {
-            for &f in full.row(i).0 {
-                weights[f as usize] += 1;
-            }
+            full.for_each_in_row(i, |j, _| weights[j as usize] += 1);
         }
         ColumnGrouping::build(GroupingStrategy::GreedyBalanced, d, world, &weights)
     });
-    // Per-worker feature-subset view for histogram building.
-    let local: BinnedRows =
+    // Per-worker feature-subset view (same layout) for histogram building.
+    let local: BinnedStore =
         ctx.time(Phase::Sketch, || full.select_cols(grouping.group_features(rank)));
     // The defining cost: the WHOLE dataset lives on this worker.
     ctx.stats.data_bytes = (full.heap_bytes() + local.heap_bytes() + n * 4) as u64;
@@ -239,20 +237,14 @@ fn train_worker(
 fn build_histogram(
     pool: &mut HistogramPool,
     node: u32,
-    local: &BinnedRows,
+    local: &BinnedStore,
     grads: &GradBuffer,
     index: &NodeToInstanceIndex,
     threads: usize,
     meter: &Meter,
 ) {
     parallel::build_histogram_chunked(pool, node, index.instances(node), threads, meter, |hist, chunk| {
-        for &i in chunk {
-            let (g, h) = grads.instance(i as usize);
-            let (feats, bins) = local.row(i as usize);
-            for (&f, &b) in feats.iter().zip(bins) {
-                hist.add_instance(f, b, g, h);
-            }
-        }
+        gbdt_core::kernels::fill_rows_chunk(hist, chunk, local, grads);
     });
 }
 

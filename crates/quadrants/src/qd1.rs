@@ -22,7 +22,7 @@ use gbdt_core::split::{best_split_parallel, NodeStats, Split, SplitParams};
 use gbdt_core::tree::{self, Tree};
 use gbdt_core::{GbdtModel, GradBuffer, TrainConfig};
 use gbdt_data::dataset::Dataset;
-use gbdt_data::{BinnedColumns, InstanceId};
+use gbdt_data::{ColumnStore, InstanceId};
 use gbdt_partition::transform::build_global_cuts;
 use gbdt_partition::HorizontalPartition;
 
@@ -62,7 +62,8 @@ fn train_worker(
     ctx.stats.threads = threads as u64;
 
     let (cuts, _) = build_global_cuts(ctx, shard, q, gbdt_core::QuantileSketch::DEFAULT_CAP)?;
-    let columns: BinnedColumns = ctx.time(Phase::Sketch, || cuts.apply(shard).to_columns());
+    let columns: ColumnStore =
+        ctx.time(Phase::Sketch, || cuts.apply_store(shard, config.storage).to_columns());
     ctx.stats.data_bytes = columns.heap_bytes() as u64;
 
     let n_local = columns.n_rows();
@@ -207,12 +208,11 @@ fn train_worker(
                             went_left[i as usize] = split.default_left;
                         }
                     }
-                    let (insts, bins) = columns.col(split.feature as usize);
-                    for (&i, &b) in insts.iter().zip(bins) {
+                    columns.for_each_in_col(split.feature as usize, |i, b| {
                         if index.node_of(i) == *node {
                             went_left[i as usize] = b <= split.bin;
                         }
-                    }
+                    });
                     let (lc, rc) = index.split(*node, |i| went_left[i as usize]);
                     counts[2 * k] = lc as f64;
                     counts[2 * k + 1] = rc as f64;
@@ -271,7 +271,7 @@ fn train_worker(
 /// Each f64 slot is written by exactly one thread, in the same per-column
 /// pair order as the sequential pass — bit-identical for every thread count.
 fn build_layer_histograms(
-    columns: &BinnedColumns,
+    columns: &ColumnStore,
     grads: &GradBuffer,
     index: &InstanceToNodeIndex,
     hists: &mut [Option<NodeHistogram>],
@@ -281,11 +281,11 @@ fn build_layer_histograms(
 ) {
     let d = columns.n_features();
     if threads <= 1 || d < 2 {
-        for (j, insts, bins) in columns.iter_cols() {
-            for (&i, &b) in insts.iter().zip(bins) {
+        for j in 0..d {
+            columns.for_each_in_col(j, |i, b| {
                 let node = index.node_of(i);
                 if node < layer_base {
-                    continue; // instance settled on an earlier leaf
+                    return; // instance settled on an earlier leaf
                 }
                 if let Some(hist) =
                     hists.get_mut((node - layer_base) as usize).and_then(Option::as_mut)
@@ -293,7 +293,7 @@ fn build_layer_histograms(
                     let (g, h) = grads.instance(i as usize);
                     hist.add_instance(j as u32, b, g, h);
                 }
-            }
+            });
         }
         return;
     }
@@ -334,12 +334,11 @@ fn build_layer_histograms(
                 let lo = bi * per;
                 let hi = (lo + per).min(d);
                 for j in lo..hi {
-                    let (insts, bins) = columns.col(j);
                     let off = (j - lo) * stride;
-                    for (&i, &b) in insts.iter().zip(bins) {
+                    columns.for_each_in_col(j, |i, b| {
                         let node = index.node_of(i);
                         if node < layer_base {
-                            continue;
+                            return;
                         }
                         let slot = (node - layer_base) as usize;
                         if let Some(block) = blocks.get_mut(slot).and_then(Option::as_mut) {
@@ -352,7 +351,7 @@ fn build_layer_histograms(
                                 h,
                             );
                         }
-                    }
+                    });
                 }
                 busy.fetch_add(
                     t0.elapsed().as_nanos() as u64,

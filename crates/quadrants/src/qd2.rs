@@ -23,12 +23,13 @@ use gbdt_cluster::collectives::segment_bounds;
 use gbdt_cluster::{Cluster, CommError, Phase, WorkerCtx};
 use gbdt_core::histogram::HistogramPool;
 use gbdt_core::indexes::NodeToInstanceIndex;
+use gbdt_core::kernels;
 use gbdt_core::parallel::{self, Meter};
 use gbdt_core::split::{best_split_in_range_parallel, best_split_parallel, NodeStats, Split, SplitParams};
 use gbdt_core::tree::{self, Tree};
 use gbdt_core::{GbdtModel, GradBuffer, TrainConfig};
 use gbdt_data::dataset::Dataset;
-use gbdt_data::BinnedRows;
+use gbdt_data::BinnedStore;
 use gbdt_partition::transform::build_global_cuts;
 use gbdt_partition::HorizontalPartition;
 
@@ -74,7 +75,7 @@ fn train_worker(
 
     // Global candidate splits (local sketches merged across the cluster).
     let (cuts, _) = build_global_cuts(ctx, shard, q, gbdt_core::QuantileSketch::DEFAULT_CAP)?;
-    let binned = ctx.time(Phase::Sketch, || cuts.apply(shard));
+    let binned = ctx.time(Phase::Sketch, || cuts.apply_store(shard, config.storage));
     ctx.stats.data_bytes = binned.heap_bytes() as u64;
 
     let n_local = binned.n_rows();
@@ -378,20 +379,14 @@ pub(crate) fn exchange_local_bests(
 fn build_histogram(
     pool: &mut HistogramPool,
     node: u32,
-    binned: &BinnedRows,
+    binned: &BinnedStore,
     grads: &GradBuffer,
     index: &NodeToInstanceIndex,
     threads: usize,
     meter: &Meter,
 ) {
     parallel::build_histogram_chunked(pool, node, index.instances(node), threads, meter, |hist, chunk| {
-        for &i in chunk {
-            let (g, h) = grads.instance(i as usize);
-            let (feats, bins) = binned.row(i as usize);
-            for (&f, &b) in feats.iter().zip(bins) {
-                hist.add_instance(f, b, g, h);
-            }
-        }
+        kernels::fill_rows_chunk(hist, chunk, binned, grads);
     });
 }
 

@@ -31,7 +31,7 @@ use gbdt_core::split::{best_split_parallel, NodeStats, Split, SplitParams};
 use gbdt_core::tree::{self, Tree};
 use gbdt_core::{GbdtModel, GradBuffer, TrainConfig};
 use gbdt_data::dataset::Dataset;
-use gbdt_data::{BinnedColumns, FeatureId};
+use gbdt_data::{ColumnStore, FeatureId};
 use gbdt_partition::transform::{horizontal_to_vertical, TransformConfig, TransformOutput};
 use gbdt_partition::{HorizontalPartition, PlacementBitmap};
 
@@ -75,9 +75,10 @@ fn train_worker(
     let meter = Meter::default();
     ctx.stats.threads = threads as u64;
 
-    // Column-store of the local feature group.
-    let columns: BinnedColumns =
-        ctx.time(Phase::Transform, || local_data.to_binned_rows().to_columns());
+    // Column-store of the local feature group, in the configured layout.
+    let columns: ColumnStore = ctx.time(Phase::Transform, || {
+        config.storage.bin_store(local_data.to_binned_rows(), q).to_columns()
+    });
     ctx.stats.data_bytes = (columns.heap_bytes() + labels.len() * 4) as u64;
 
     let mut model = GbdtModel::new(objective, config.learning_rate, grouping.n_features());
@@ -275,7 +276,7 @@ fn train_worker(
 fn build_histogram_hybrid(
     pool: &mut HistogramPool,
     node: u32,
-    columns: &BinnedColumns,
+    columns: &ColumnStore,
     grads: &GradBuffer,
     index: &NodeToInstanceIndex,
     inst_to_node: &InstanceToNodeIndex,
@@ -287,49 +288,58 @@ fn build_histogram_hybrid(
     let c = hist.n_outputs();
     // Whole columns fan out across threads: each feature's histogram region
     // is disjoint and filled in the sequential per-column order, so the
-    // result is bit-identical for every thread count.
+    // result is bit-identical for every thread count. Both paths visit the
+    // node's present values in ascending instance order (columns store
+    // instances ascending; node instance lists stay ascending across
+    // splits), so the cost-model choice never changes the accumulated bits
+    // — on either storage layout.
     par_feature_fill(hist, threads, meter, |j, slice| {
-        let (insts, bins) = columns.col(j);
-        let cost_linear = insts.len();
-        let log_len = usize::BITS - insts.len().next_power_of_two().leading_zeros();
-        let cost_binary = node_count * log_len as usize;
+        let (cost_linear, cost_binary) = if columns.is_dense() {
+            // Dense: linear scan touches every cell; point lookups are O(1).
+            (columns.n_rows(), node_count)
+        } else {
+            let len = columns.col_nnz(j);
+            let log_len = usize::BITS - len.next_power_of_two().leading_zeros();
+            (len, node_count * log_len as usize)
+        };
         if cost_linear <= cost_binary {
             // Linear scan: touch every pair, keep only this node's.
-            for (&i, &b) in insts.iter().zip(bins) {
+            columns.for_each_in_col(j, |i, b| {
                 if inst_to_node.node_of(i) == node {
                     let (g, h) = grads.instance(i as usize);
                     add_instance_to_feature_slice(slice, c, b, g, h);
                 }
-            }
+            });
         } else {
-            // Binary search per node instance — the log(N) access path.
+            // Point lookup per node instance — binary search on the sparse
+            // layout (the log(N) access path), O(1) on the dense layout.
             for &i in index.instances(node) {
-                if let Ok(pos) = insts.binary_search(&i) {
+                if let Some(b) = columns.get(i as usize, j as FeatureId) {
                     let (g, h) = grads.instance(i as usize);
-                    add_instance_to_feature_slice(slice, c, bins[pos], g, h);
+                    add_instance_to_feature_slice(slice, c, b, g, h);
                 }
             }
         }
     });
 }
 
-/// Placement bitmap from column-store: binary search the split feature's
-/// column for each of the node's instances.
+/// Placement bitmap from column-store: look up the split feature's column
+/// for each of the node's instances (binary search on the sparse layout,
+/// O(1) on the dense layout).
 fn placement_bitmap_from_columns(
-    columns: &BinnedColumns,
+    columns: &ColumnStore,
     grouping: &gbdt_partition::ColumnGrouping,
     index: &NodeToInstanceIndex,
     node: u32,
     split: &Split,
 ) -> PlacementBitmap {
-    let local_feat = grouping.local_id(split.feature) as usize;
-    let (insts, bins) = columns.col(local_feat);
+    let local_feat = grouping.local_id(split.feature);
     let instances = index.instances(node);
     let mut bm = PlacementBitmap::new(instances.len());
     for (k, &inst) in instances.iter().enumerate() {
-        let goes_left = match insts.binary_search(&inst) {
-            Ok(pos) => bins[pos] <= split.bin,
-            Err(_) => split.default_left,
+        let goes_left = match columns.get(inst as usize, local_feat) {
+            Some(b) => b <= split.bin,
+            None => split.default_left,
         };
         if goes_left {
             bm.set(k);

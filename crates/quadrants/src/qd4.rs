@@ -30,10 +30,10 @@ use gbdt_core::indexes::NodeToInstanceIndex;
 use gbdt_core::parallel::{self, Meter};
 use gbdt_core::split::{best_split_parallel, NodeStats, Split, SplitParams};
 use gbdt_core::tree::{self, Tree};
-use gbdt_core::{GbdtModel, GradBuffer, TrainConfig};
+use gbdt_core::{GbdtModel, GradBuffer, Storage, TrainConfig};
 use gbdt_data::block::BlockedRows;
 use gbdt_data::dataset::Dataset;
-use gbdt_data::FeatureId;
+use gbdt_data::{DenseBinnedRows, FeatureId, DEFAULT_DENSE_THRESHOLD};
 use gbdt_partition::transform::{horizontal_to_vertical, TransformConfig, TransformOutput};
 use gbdt_partition::{HorizontalPartition, PlacementBitmap};
 
@@ -116,7 +116,29 @@ pub(crate) fn train_worker_with_options(
     let meter = Meter::default();
     ctx.stats.threads = threads as u64;
 
-    ctx.stats.data_bytes = (local_data.heap_bytes() + labels.len() * 4) as u64;
+    // Local column group in the configured layout. When the storage policy
+    // selects dense, the packed cells REPLACE the two-phase blocked rows
+    // (which are dropped) — histogram scans and placement lookups then run
+    // on the dense store with O(1) cell access.
+    let local_rows: LocalRows = ctx.time(Phase::Transform, || {
+        let use_dense = match config.storage {
+            Storage::Sparse => false,
+            Storage::Dense => true,
+            Storage::Auto => match n.checked_mul(p_local) {
+                Some(cells) if cells > 0 => {
+                    local_data.nnz() as f64 / cells as f64 >= DEFAULT_DENSE_THRESHOLD
+                }
+                _ => false,
+            },
+        };
+        if use_dense {
+            LocalRows::Dense(DenseBinnedRows::from_sparse(&local_data.to_binned_rows(), q))
+        } else {
+            LocalRows::Blocked(local_data)
+        }
+    });
+
+    ctx.stats.data_bytes = (local_rows.heap_bytes() + labels.len() * 4) as u64;
 
     let mut model = GbdtModel::new(objective, config.learning_rate, d_global);
     let mut scores = vec![0.0f64; n * c];
@@ -174,7 +196,7 @@ pub(crate) fn train_worker_with_options(
             // Histogram construction with subtraction, over local features.
             ctx.time(Phase::HistogramBuild, || {
                 if layer == 0 {
-                    build_histogram(&mut pool, 0, &local_data, &grads, &index, threads, &meter);
+                    build_histogram(&mut pool, 0, &local_rows, &grads, &index, threads, &meter);
                 } else if options.use_subtraction {
                     let mut k = 0;
                     while k < frontier.nodes.len() {
@@ -182,7 +204,7 @@ pub(crate) fn train_worker_with_options(
                         let (build_left, _) =
                             subtraction_plan(frontier.counts[&l], frontier.counts[&r]);
                         let (b, s) = if build_left { (l, r) } else { (r, l) };
-                        build_histogram(&mut pool, b, &local_data, &grads, &index, threads, &meter);
+                        build_histogram(&mut pool, b, &local_rows, &grads, &index, threads, &meter);
                         pool.subtract_sibling(tree::parent(l), b, s);
                         k += 2;
                     }
@@ -190,7 +212,9 @@ pub(crate) fn train_worker_with_options(
                     // Ablation: no subtraction — both children built from
                     // their instances; parent histograms are dropped.
                     for &node in &frontier.nodes {
-                        build_histogram(&mut pool, node, &local_data, &grads, &index, threads, &meter);
+                        build_histogram(
+                            &mut pool, node, &local_rows, &grads, &index, threads, &meter,
+                        );
                         let p = tree::parent(node);
                         pool.release(p);
                     }
@@ -236,7 +260,7 @@ pub(crate) fn train_worker_with_options(
                         let owner = grouping.group_of(split.feature);
                         let payload = if rank == owner {
                             let bm = ctx.time(Phase::NodeSplit, || {
-                                placement_bitmap(&local_data, &grouping, &index, node, &split)
+                                placement_bitmap(&local_rows, &grouping, &index, node, &split)
                             });
                             bytes::Bytes::from(bm.encode_bytes())
                         } else {
@@ -300,10 +324,28 @@ pub(crate) fn train_worker_with_options(
     Ok((model, per_tree))
 }
 
+/// The local column group in whichever layout the storage policy selected:
+/// blockified sparse rows (the pre-existing two-phase layout) or packed
+/// dense cells.
+enum LocalRows {
+    Blocked(BlockedRows),
+    Dense(DenseBinnedRows),
+}
+
+impl LocalRows {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            LocalRows::Blocked(b) => b.heap_bytes(),
+            LocalRows::Dense(d) => d.heap_bytes(),
+        }
+    }
+}
+
 /// Builds the placement bitmap for `node` on the worker owning the split
-/// feature, by two-phase row lookups on its column group.
+/// feature — two-phase row lookups on the blocked column group, or O(1)
+/// cell lookups on the dense layout.
 fn placement_bitmap(
-    local_data: &BlockedRows,
+    local_rows: &LocalRows,
     grouping: &gbdt_partition::ColumnGrouping,
     index: &NodeToInstanceIndex,
     node: u32,
@@ -313,10 +355,18 @@ fn placement_bitmap(
     let instances = index.instances(node);
     let mut bm = PlacementBitmap::new(instances.len());
     for (k, &inst) in instances.iter().enumerate() {
-        let (feats, bins) = local_data.row(inst);
-        let goes_left = match feats.binary_search(&local_feat) {
-            Ok(pos) => bins[pos] <= split.bin,
-            Err(_) => split.default_left,
+        let goes_left = match local_rows {
+            LocalRows::Dense(dense) => match dense.get(inst as usize, local_feat) {
+                Some(b) => b <= split.bin,
+                None => split.default_left,
+            },
+            LocalRows::Blocked(blocked) => {
+                let (feats, bins) = blocked.row(inst);
+                match feats.binary_search(&local_feat) {
+                    Ok(pos) => bins[pos] <= split.bin,
+                    Err(_) => split.default_left,
+                }
+            }
         };
         if goes_left {
             bm.set(k);
@@ -328,18 +378,23 @@ fn placement_bitmap(
 fn build_histogram(
     pool: &mut HistogramPool,
     node: u32,
-    local_data: &BlockedRows,
+    local_rows: &LocalRows,
     grads: &GradBuffer,
     index: &NodeToInstanceIndex,
     threads: usize,
     meter: &Meter,
 ) {
     parallel::build_histogram_chunked(pool, node, index.instances(node), threads, meter, |hist, chunk| {
-        for &i in chunk {
-            let (g, h) = grads.instance(i as usize);
-            let (feats, bins) = local_data.row(i);
-            for (&f, &b) in feats.iter().zip(bins) {
-                hist.add_instance(f, b, g, h);
+        match local_rows {
+            LocalRows::Dense(dense) => gbdt_core::kernels::fill_dense_rows(hist, chunk, dense, grads),
+            LocalRows::Blocked(blocked) => {
+                for &i in chunk {
+                    let (g, h) = grads.instance(i as usize);
+                    let (feats, bins) = blocked.row(i);
+                    for (&f, &b) in feats.iter().zip(bins) {
+                        hist.add_instance(f, b, g, h);
+                    }
+                }
             }
         }
     });

@@ -10,25 +10,26 @@
 use crate::common::{subtraction_plan, worker_threads, Frontier};
 use gbdt_core::histogram::HistogramPool;
 use gbdt_core::indexes::NodeToInstanceIndex;
+use gbdt_core::kernels;
 use gbdt_core::parallel::{self, Meter};
 use gbdt_core::split::{best_split_parallel, NodeStats, SplitParams};
 use gbdt_core::tree::{self, Tree};
 use gbdt_core::{BinCuts, GbdtModel, GradBuffer, TrainConfig};
 use gbdt_data::dataset::Dataset;
-use gbdt_data::BinnedRows;
+use gbdt_data::BinnedStore;
 
 /// Trains a GBDT model on one node.
 pub fn train(dataset: &Dataset, config: &TrainConfig) -> GbdtModel {
     config.validate().expect("invalid training config");
     let cuts = BinCuts::from_dataset(dataset, config.n_bins);
-    let binned = cuts.apply(dataset);
+    let binned = cuts.apply_store(dataset, config.storage);
     train_prebinned(&binned, &cuts, &dataset.labels, config)
 }
 
 /// Trains on already-binned data (shared with tests that need exact control
 /// over the cuts).
 pub fn train_prebinned(
-    binned: &BinnedRows,
+    binned: &BinnedStore,
     cuts: &BinCuts,
     labels: &[f32],
     config: &TrainConfig,
@@ -165,20 +166,14 @@ pub fn train_prebinned(
 fn build_histogram(
     pool: &mut HistogramPool,
     node: u32,
-    binned: &BinnedRows,
+    binned: &BinnedStore,
     grads: &GradBuffer,
     index: &NodeToInstanceIndex,
     threads: usize,
     meter: &Meter,
 ) {
     parallel::build_histogram_chunked(pool, node, index.instances(node), threads, meter, |hist, chunk| {
-        for &i in chunk {
-            let (g, h) = grads.instance(i as usize);
-            let (feats, bins) = binned.row(i as usize);
-            for (&f, &b) in feats.iter().zip(bins) {
-                hist.add_instance(f, b, g, h);
-            }
-        }
+        kernels::fill_rows_chunk(hist, chunk, binned, grads);
     });
 }
 

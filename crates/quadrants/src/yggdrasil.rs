@@ -25,7 +25,7 @@ use gbdt_core::split::{best_split_parallel, NodeStats, Split, SplitParams};
 use gbdt_core::tree::{self, Tree};
 use gbdt_core::{GbdtModel, GradBuffer, TrainConfig};
 use gbdt_data::dataset::Dataset;
-use gbdt_data::{BinnedColumns, FeatureId};
+use gbdt_data::{ColumnStore, FeatureId};
 use gbdt_partition::transform::{horizontal_to_vertical, TransformConfig, TransformOutput};
 use gbdt_partition::{HorizontalPartition, PlacementBitmap};
 
@@ -69,9 +69,10 @@ fn train_worker(
     let meter = Meter::default();
     ctx.stats.threads = threads as u64;
 
-    let columns: BinnedColumns =
-        ctx.time(Phase::Transform, || local_data.to_binned_rows().to_columns());
-    let mut cw_index = ctx.time(Phase::Transform, || ColumnWiseIndex::from_columns(&columns));
+    let columns: ColumnStore = ctx.time(Phase::Transform, || {
+        config.storage.bin_store(local_data.to_binned_rows(), q).to_columns()
+    });
+    let mut cw_index = ctx.time(Phase::Transform, || ColumnWiseIndex::from_store(&columns));
     ctx.stats.data_bytes = (columns.heap_bytes() + labels.len() * 4) as u64;
 
     let mut model = GbdtModel::new(objective, config.learning_rate, grouping.n_features());
@@ -234,7 +235,7 @@ fn train_worker(
 
         pool.release_all();
         index.reset();
-        ctx.time(Phase::NodeSplit, || cw_index.reset_from_columns(&columns));
+        ctx.time(Phase::NodeSplit, || cw_index.reset_from_store(&columns));
         model.trees.push(tree);
         per_tree.push(tracker.lap(ctx));
         save_tree_checkpoint(ctx, &model, &scores, &per_tree);
