@@ -1,0 +1,110 @@
+//! `gbdt-lint` — the workspace determinism / deadlock-freedom gate.
+//!
+//! ```text
+//! gbdt-lint [--root PATH] [--json] [--protocol] [FILE...]
+//! ```
+//!
+//! With no `FILE` arguments, lints every product source in the workspace
+//! (`crates/*/src/**`, `examples/`). Explicit files are linted under their
+//! workspace-relative paths, so rule scoping behaves identically. Exits 1
+//! if any diagnostic fires; `--json` emits a machine-readable array for
+//! CI; `--protocol` prints the per-function collective schedule of every
+//! trainer instead of linting.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut protocol = false;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root requires a path"),
+            },
+            "--json" => json = true,
+            "--protocol" => protocol = true,
+            "--help" | "-h" => {
+                println!("usage: gbdt-lint [--root PATH] [--json] [--protocol] [FILE...]");
+                println!("\nrules:");
+                for (id, summary) in gbdt_analysis::rules::RULES {
+                    println!("  {id:<24} {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = root.or_else(|| gbdt_analysis::find_workspace_root(&cwd)) else {
+        return usage("could not find a workspace root (no Cargo.toml with [workspace] above cwd)");
+    };
+
+    if protocol {
+        return match gbdt_analysis::workspace_protocol_report(&root) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => usage(&format!("failed to read workspace: {e}")),
+        };
+    }
+
+    let diags = if files.is_empty() {
+        match gbdt_analysis::lint_workspace(&root) {
+            Ok(d) => d,
+            Err(e) => return usage(&format!("failed to read workspace: {e}")),
+        }
+    } else {
+        let mut d = Vec::new();
+        for f in &files {
+            // Normalize to a workspace-relative path for scope selection.
+            let abs = if PathBuf::from(f).is_absolute() { PathBuf::from(f) } else { cwd.join(f) };
+            let rel = abs
+                .strip_prefix(&root)
+                .map(|p| p.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/"))
+                .unwrap_or_else(|_| f.clone());
+            match std::fs::read_to_string(&abs) {
+                Ok(src) => {
+                    // Fixtures carry a `//@ path:` directive naming the
+                    // workspace location they should be scoped as.
+                    let rel = gbdt_analysis::virtual_path(&src).unwrap_or(rel);
+                    d.extend(gbdt_analysis::lint_source(&rel, &src));
+                }
+                Err(e) => return usage(&format!("cannot read {f}: {e}")),
+            }
+        }
+        d
+    };
+
+    if json {
+        println!("{}", gbdt_analysis::diagnostics_to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}\n");
+        }
+        if diags.is_empty() {
+            eprintln!("gbdt-lint: clean");
+        } else {
+            eprintln!("gbdt-lint: {} error(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("gbdt-lint: {err}");
+    eprintln!("usage: gbdt-lint [--root PATH] [--json] [--protocol] [FILE...]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,339 @@
+//! SPMD protocol checking: collective schedules and the tag registry.
+//!
+//! The simulated cluster runs every trainer as SPMD — one closure, W
+//! threads. Collectives are blocking rendezvous: all ranks must reach the
+//! same call in the same order or the run deadlocks. The two structural
+//! hazards are:
+//!
+//! 1. **Rank-conditional collectives** — a collective nested under
+//!    `if rank == …` / `match rank` executes on a strict subset of ranks;
+//!    the rest block forever at the next rendezvous. (Rank-conditional
+//!    *data* is fine — `let payload = if rank == owner { … }` with the
+//!    broadcast *outside* the branch is the sanctioned pattern.)
+//! 2. **Tag collisions** — point-to-point messages match on `(from, tag)`;
+//!    two in-flight messages with the same manual tag can cross. Manual
+//!    tags therefore live in one registry (`gbdt_cluster::protocol`), must
+//!    be unique, and must stay below `COLLECTIVE_TAG_BASE` (collectives
+//!    auto-allocate from the top bit down).
+//!
+//! The walker is brace-depth based and leans on a Rust grammar fact: struct
+//! literals are forbidden in `if`/`while`/`match`-scrutinee position, so
+//! the first `{` at parenthesis depth zero after the keyword *is* the
+//! block opener.
+
+use crate::lexer::{Lexed, Token};
+use crate::rules::{is_collective_name, matching_brace, trainer_scope};
+use crate::Diagnostic;
+
+/// One collective call site inside a trainer function.
+#[derive(Clone, Debug)]
+pub struct CollectiveSite {
+    pub func: String,
+    pub callee: String,
+    pub line: u32,
+    pub rank_conditional: bool,
+}
+
+/// Extracts the static sequence of collective call sites from a lexed
+/// trainer file, tagging each with whether it sits under a rank-conditional
+/// branch. The sequence order is source order — which for SPMD code *is*
+/// the schedule every rank executes.
+pub fn collective_sequence(lexed: &Lexed) -> Vec<CollectiveSite> {
+    let toks = &lexed.tokens;
+    let mut sites = Vec::new();
+
+    // One entry per open `{`: is the scope rank-conditional, and does it
+    // open a function body (so we can pop the fn-name stack)?
+    struct Scope {
+        rank_conditional: bool,
+        is_fn_body: bool,
+    }
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut fn_names: Vec<String> = Vec::new();
+    // Set when `if`/`while`/`match` is seen; consumed by the next `{` at
+    // paren depth 0. Carries "this condition mentions rank".
+    let mut pending_cond: Option<bool> = None;
+    // Set when the `}` of a rank-conditional `if` is followed by `else`:
+    // the else-branch (or else-if chain) inherits the rank condition.
+    let mut pending_else = false;
+    // Set when `fn name` is seen; consumed by the body `{`.
+    let mut pending_fn: Option<String> = None;
+    let mut paren_depth = 0usize;
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.ident() {
+            Some("fn") => {
+                if let Some(name) = toks.get(i + 1).and_then(Token::ident) {
+                    pending_fn = Some(name.to_string());
+                }
+            }
+            Some("if") | Some("while") | Some("match") => {
+                // Scan the condition up to the block `{` (at paren depth 0
+                // relative to here) and look for `rank`.
+                let mut depth = 0usize;
+                let mut j = i + 1;
+                let mut mentions_rank = false;
+                while j < toks.len() {
+                    let c = &toks[j];
+                    if c.is_punct('(') || c.is_punct('[') {
+                        depth += 1;
+                    } else if c.is_punct(')') || c.is_punct(']') {
+                        depth = depth.saturating_sub(1);
+                    } else if c.is_punct('{') && depth == 0 {
+                        break;
+                    } else if c.is_punct(';') && depth == 0 {
+                        // `if` used in a position we mis-read; bail out.
+                        break;
+                    }
+                    if matches!(c.ident(), Some("rank") | Some("owner")) {
+                        mentions_rank = true;
+                    }
+                    j += 1;
+                }
+                pending_cond = Some(mentions_rank || pending_else);
+                pending_else = false;
+            }
+            Some(name) if is_collective_name(name) => {
+                // A call site: followed by `(`, and not a definition
+                // (`fn all_reduce…`) — definitions consumed `fn` above and
+                // set pending_fn, but the name token still reaches here, so
+                // check the previous token.
+                let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && !(i > 0 && toks[i - 1].ident() == Some("fn"));
+                if is_call {
+                    let conditional = scopes.iter().any(|s| s.rank_conditional);
+                    sites.push(CollectiveSite {
+                        func: fn_names.last().cloned().unwrap_or_else(|| "<file>".into()),
+                        callee: name.to_string(),
+                        line: t.line,
+                        rank_conditional: conditional,
+                    });
+                }
+            }
+            _ => {}
+        }
+
+        if t.is_punct('(') {
+            paren_depth += 1;
+        } else if t.is_punct(')') {
+            paren_depth = paren_depth.saturating_sub(1);
+        } else if t.is_punct('{') {
+            // Braces inside parens (closure bodies in arguments) are plain
+            // scopes: they must not consume a pending `if` condition whose
+            // block opener is still ahead. Enclosing-scope conditionality is
+            // checked with `any()`, so inheritance needs no flag here.
+            let rank_conditional = if paren_depth == 0 {
+                let flag = pending_cond.take().unwrap_or(pending_else);
+                pending_else = false;
+                flag
+            } else {
+                false
+            };
+            let is_fn_body = if paren_depth == 0 {
+                if let Some(name) = pending_fn.take() {
+                    fn_names.push(name);
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            };
+            scopes.push(Scope { rank_conditional, is_fn_body });
+        } else if t.is_punct('}') {
+            if let Some(s) = scopes.pop() {
+                if s.is_fn_body {
+                    fn_names.pop();
+                }
+                // `} else …` inherits this branch's rank-conditionality.
+                if s.rank_conditional && toks.get(i + 1).and_then(Token::ident) == Some("else") {
+                    pending_else = true;
+                }
+            }
+        }
+        i += 1;
+    }
+    sites
+}
+
+/// The `rank-branch-collective` rule: reject any collective whose call site
+/// sits under a rank-conditional branch in a trainer file.
+pub fn check_rank_branches(path: &str, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    if !trainer_scope(path) {
+        return;
+    }
+    for site in collective_sequence(lexed) {
+        if site.rank_conditional && !lexed.allowed("rank-branch-collective", site.line) {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: site.line,
+                col: 1,
+                rule: "rank-branch-collective",
+                message: format!(
+                    "collective `{}` in fn `{}` is nested under a rank-conditional branch: \
+                     ranks that skip the branch never reach the rendezvous and the cluster \
+                     deadlocks; hoist the collective out and make only the payload \
+                     rank-dependent",
+                    site.callee, site.func
+                ),
+            });
+        }
+    }
+}
+
+/// The `tag-registry` rule.
+///
+/// Outside `cluster/src/comm.rs`, any `const …TAG…: u64` is a stray manual
+/// tag — it belongs in `gbdt_cluster::protocol`. Inside `comm.rs`, every
+/// tag constant must sit in the `protocol` module, carry a unique value,
+/// and stay below `COLLECTIVE_TAG_BASE` (1 << 63).
+pub fn check_tag_registry(path: &str, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    if !path.starts_with("crates/") {
+        return;
+    }
+    let toks = &lexed.tokens;
+    let in_comm = path == "crates/cluster/src/comm.rs";
+
+    // Locate the `mod protocol { … }` span in comm.rs.
+    let protocol_span = (0..toks.len()).find_map(|i| {
+        if toks[i].ident() == Some("mod") && toks.get(i + 1).and_then(Token::ident) == Some("protocol")
+        {
+            let open = (i + 2..toks.len()).find(|&j| toks[j].is_punct('{'))?;
+            Some((open, matching_brace(toks, open)))
+        } else {
+            None
+        }
+    });
+
+    let mut seen: Vec<(String, String, u32)> = Vec::new(); // (value, name, line)
+    for i in 0..toks.len() {
+        if toks[i].ident() != Some("const") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(Token::ident) else { continue };
+        if !name.contains("TAG") || name == "COLLECTIVE_TAG_BASE" {
+            continue;
+        }
+        let line = toks[i].line;
+        if !in_comm {
+            if !lexed.allowed("tag-registry", line) {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line,
+                    col: toks[i].col,
+                    rule: "tag-registry",
+                    message: format!(
+                        "manual tag constant `{name}` outside the central registry; declare it \
+                         in gbdt_cluster::protocol so uniqueness is checkable"
+                    ),
+                });
+            }
+            continue;
+        }
+        let inside = protocol_span.is_some_and(|(open, close)| i > open && i < close);
+        if !inside {
+            if !lexed.allowed("tag-registry", line) {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line,
+                    col: toks[i].col,
+                    rule: "tag-registry",
+                    message: format!(
+                        "tag constant `{name}` in comm.rs but outside `mod protocol`; move it \
+                         into the registry"
+                    ),
+                });
+            }
+            continue;
+        }
+        // `const NAME: u64 = <num> ;`
+        let val = (i + 2..toks.len().min(i + 10)).find_map(|j| {
+            if toks[j].is_punct('=') {
+                if let crate::lexer::Tok::Num(n) = &toks.get(j + 1)?.tok {
+                    return Some(n.clone());
+                }
+            }
+            None
+        });
+        let Some(raw) = val else {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line,
+                col: toks[i].col,
+                rule: "tag-registry",
+                message: format!(
+                    "tag `{name}` must be a literal u64 so the checker can prove uniqueness"
+                ),
+            });
+            continue;
+        };
+        if let Some(v) = parse_u64(&raw) {
+            if v >= 1u64 << 63 {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line,
+                    col: toks[i].col,
+                    rule: "tag-registry",
+                    message: format!(
+                        "tag `{name}` = {raw} collides with the auto-allocated collective tag \
+                         space (>= COLLECTIVE_TAG_BASE)"
+                    ),
+                });
+            }
+            if let Some((_, other, _)) = seen.iter().find(|(sv, _, _)| parse_u64(sv) == Some(v)) {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line,
+                    col: toks[i].col,
+                    rule: "tag-registry",
+                    message: format!("tag `{name}` duplicates the value of `{other}`"),
+                });
+            }
+        }
+        seen.push((raw, name.to_string(), line));
+    }
+}
+
+/// Parses `1234`, `0x7261_7274`, `0b…`, `0o…` with optional `u64` suffix.
+fn parse_u64(raw: &str) -> Option<u64> {
+    let s: String = raw.chars().filter(|c| *c != '_').collect();
+    let s = s.strip_suffix("u64").unwrap_or(&s);
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else if let Some(bin) = s.strip_prefix("0b") {
+        u64::from_str_radix(bin, 2).ok()
+    } else if let Some(oct) = s.strip_prefix("0o") {
+        u64::from_str_radix(oct, 8).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Renders the per-function collective schedule of every trainer file —
+/// the `--protocol` report. Reviewing a diff of this output is how a
+/// protocol change gets eyeballed for symmetry.
+pub fn protocol_report(files: &[(String, Lexed)]) -> String {
+    let mut report = String::new();
+    for (path, lexed) in files {
+        if !trainer_scope(path) {
+            continue;
+        }
+        let sites = collective_sequence(lexed);
+        if sites.is_empty() {
+            continue;
+        }
+        report.push_str(&format!("{path}\n"));
+        let mut current = String::new();
+        for s in &sites {
+            if s.func != current {
+                report.push_str(&format!("  fn {}:\n", s.func));
+                current = s.func.clone();
+            }
+            let marker = if s.rank_conditional { "  [RANK-CONDITIONAL!]" } else { "" };
+            report.push_str(&format!("    {:>5}  {}{}\n", s.line, s.callee, marker));
+        }
+    }
+    report
+}

@@ -1,0 +1,12 @@
+//@ path: crates/core/src/bad_env.rs
+//@ expect: ambient-env
+// Known-bad: process environment and thread identity are ambient inputs a
+// trainer must never consult.
+
+use std::thread;
+
+pub fn ambient_inputs() -> usize {
+    let from_env = std::env::var("GBDT_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
+    let tid = format!("{:?}", thread::current().id());
+    from_env + tid.len()
+}

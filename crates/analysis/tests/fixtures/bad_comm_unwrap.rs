@@ -1,0 +1,10 @@
+//@ path: crates/quadrants/src/featpar.rs
+//@ expect: comm-unwrap
+// Known-bad: unwrapping a comm result turns a recoverable CommError (drop,
+// timeout, peer crash) into a worker abort that bypasses supervision.
+
+pub fn aggregate(ctx: &mut WorkerCtx, buf: &mut [f64]) {
+    ctx.comm.all_reduce_f64(buf).unwrap();
+    let reply = ctx.comm.recv(0, 7).expect("peer always answers");
+    drop(reply);
+}

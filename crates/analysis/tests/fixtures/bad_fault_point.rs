@@ -1,0 +1,11 @@
+//@ path: crates/quadrants/src/qd3.rs
+//@ expect: fault-point
+// Known-bad: a per-tree trainer loop that never polls fault_point — an
+// injected crash can only land mid-tree, where no checkpoint can recover.
+
+pub fn train_worker(ctx: &mut WorkerCtx, config: &TrainConfig) -> Result<(), CommError> {
+    for t in 0..config.n_trees {
+        grow_tree(ctx, t)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//@ path: crates/core/src/bad_map.rs
+//@ expect: map-iteration
+// Known-bad: draining a HashMap in hash order feeds nondeterministic
+// ordering straight into the output vector.
+
+use std::collections::HashMap;
+
+pub fn leak_hash_order(stats: &mut HashMap<u32, f64>) -> Vec<(u32, f64)> {
+    let mut out = Vec::new();
+    for (k, v) in stats.drain() {
+        out.push((k, v));
+    }
+    out
+}

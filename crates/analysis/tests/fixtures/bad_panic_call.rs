@@ -1,0 +1,11 @@
+//@ path: crates/cluster/src/collectives.rs
+//@ expect: panic-call
+// Known-bad: a panic in the comm layer strands every peer blocked on the
+// rendezvous; faults must surface as typed CommError values.
+
+pub fn broadcast_or_die(ok: bool) {
+    if !ok {
+        panic!("peer misbehaved");
+    }
+    let _ = todo!("unreachable either way");
+}

@@ -1,0 +1,12 @@
+//@ path: crates/quadrants/src/qd2.rs
+//@ expect: rank-branch-collective
+// Known-bad: the canonical SPMD deadlock. Rank 0 enters the all-reduce;
+// every other rank never reaches the rendezvous and blocks forever.
+
+pub fn train_layer(ctx: &mut WorkerCtx, buf: &mut [f64]) -> Result<(), CommError> {
+    let rank = ctx.rank();
+    if rank == 0 {
+        ctx.comm.all_reduce_f64(buf)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//@ path: crates/partition/src/bad_tag.rs
+//@ expect: tag-registry
+// Known-bad: a manual message tag declared outside gbdt_cluster::protocol.
+// Uniqueness against other protocols is unverifiable from here.
+
+const SHUFFLE_TAG: u64 = 0x1234;
+
+pub fn tag() -> u64 {
+    SHUFFLE_TAG
+}

@@ -1,0 +1,14 @@
+//@ path: crates/quadrants/src/bad_clock.rs
+//@ expect: wall-clock
+// Known-bad: wall-clock read in a trainer path — timing jitter could steer
+// a decision and break bit-identity across runs.
+
+use std::time::Instant;
+
+pub fn timed_choice() -> bool {
+    let t0 = Instant::now();
+    expensive();
+    t0.elapsed().as_micros() % 2 == 0
+}
+
+fn expensive() {}

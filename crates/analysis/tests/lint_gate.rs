@@ -1,0 +1,208 @@
+//! The lint gate: fixture self-tests, the workspace cleanliness invariant,
+//! and injection tests proving the gate actually catches the regressions it
+//! claims to (rank-conditional collectives, unsorted hash drains).
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/analysis -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/analysis has a workspace two levels up")
+        .to_path_buf()
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Parses the `//@ path:` / `//@ expect:` directives a fixture carries.
+fn directives(source: &str) -> (String, BTreeSet<String>) {
+    let mut path = None;
+    let mut expect = BTreeSet::new();
+    for line in source.lines() {
+        let line = line.trim();
+        if let Some(p) = line.strip_prefix("//@ path:") {
+            path = Some(p.trim().to_string());
+        } else if let Some(e) = line.strip_prefix("//@ expect:") {
+            for rule in e.split(',') {
+                expect.insert(rule.trim().to_string());
+            }
+        }
+    }
+    (path.expect("fixture must carry a //@ path: directive"), expect)
+}
+
+fn fired_rules(path: &str, source: &str) -> BTreeSet<String> {
+    gbdt_analysis::lint_source(path, source)
+        .into_iter()
+        .map(|d| d.rule.to_string())
+        .collect()
+}
+
+/// Every `bad_*.rs` fixture fires exactly the rule set it declares, and the
+/// clean fixture fires nothing — under the strictest (trainer) scope.
+#[test]
+fn fixtures_fire_exactly_their_declared_rules() {
+    let dir = fixtures_dir();
+    let mut seen_bad = 0;
+    let mut seen_clean = 0;
+    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("fixtures directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "no fixtures found in {}", dir.display());
+
+    for fixture in entries {
+        let name = fixture.file_name().unwrap().to_string_lossy().to_string();
+        let source = fs::read_to_string(&fixture).expect("fixture is readable");
+        let (virtual_path, expect) = directives(&source);
+        let fired = fired_rules(&virtual_path, &source);
+        if name.starts_with("bad_") {
+            seen_bad += 1;
+            assert!(!expect.is_empty(), "{name}: bad fixture must declare //@ expect:");
+            assert_eq!(
+                fired, expect,
+                "{name} (as {virtual_path}): fired {fired:?}, expected {expect:?}"
+            );
+        } else {
+            seen_clean += 1;
+            assert!(expect.is_empty(), "{name}: clean fixture must not declare //@ expect:");
+            assert!(
+                fired.is_empty(),
+                "{name} (as {virtual_path}): clean fixture fired {fired:?}"
+            );
+        }
+    }
+    // One bad fixture per rule in the catalog, plus the tricky clean file.
+    assert_eq!(seen_bad, gbdt_analysis::rules::RULES.len(), "one bad fixture per rule");
+    assert!(seen_clean >= 1, "at least one clean fixture");
+}
+
+/// Tier-1 gate: the shipped workspace is lint-clean. Any new hash-order
+/// iteration, wall-clock read, comm-layer panic, rank-conditional
+/// collective, or stray tag constant fails this test (and CI) at the line
+/// that introduced it.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let diags = gbdt_analysis::lint_workspace(&root).expect("workspace walk succeeds");
+    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        diags.is_empty(),
+        "workspace has {} lint error(s):\n{}",
+        diags.len(),
+        rendered.join("\n")
+    );
+}
+
+/// The workspace walk actually covers the trainers and the comm layer —
+/// guards against the gate going green by silently walking nothing.
+#[test]
+fn workspace_walk_covers_product_sources() {
+    let root = workspace_root();
+    let sources = gbdt_analysis::workspace_sources(&root).expect("workspace walk succeeds");
+    let paths: BTreeSet<&str> = sources.iter().map(|(p, _)| p.as_str()).collect();
+    for must in [
+        "crates/quadrants/src/qd1.rs",
+        "crates/quadrants/src/qd2.rs",
+        "crates/quadrants/src/qd3.rs",
+        "crates/quadrants/src/qd4.rs",
+        "crates/quadrants/src/yggdrasil.rs",
+        "crates/quadrants/src/featpar.rs",
+        "crates/cluster/src/comm.rs",
+        "crates/cluster/src/collectives.rs",
+        "crates/cluster/src/ps.rs",
+        "crates/core/src/histogram.rs",
+    ] {
+        assert!(paths.contains(must), "workspace walk missed {must}");
+    }
+}
+
+/// Acceptance check: injecting a rank-conditional collective into a real
+/// trainer makes the gate fail.
+#[test]
+fn injected_rank_conditional_collective_fails_the_gate() {
+    let root = workspace_root();
+    for trainer in ["qd1.rs", "qd2.rs", "qd3.rs", "qd4.rs", "yggdrasil.rs", "featpar.rs"] {
+        let rel = format!("crates/quadrants/src/{trainer}");
+        let mut source = fs::read_to_string(root.join(&rel)).expect("trainer source readable");
+        assert!(fired_rules(&rel, &source).is_empty(), "{rel} must start clean");
+        source.push_str(
+            "\n\npub fn injected_sync(ctx: &mut WorkerCtx, buf: &mut [f64]) -> Result<(), CommError> {\n\
+             \x20   if ctx.rank() == 0 {\n\
+             \x20       ctx.comm.all_reduce_f64(buf)?;\n\
+             \x20   }\n\
+             \x20   Ok(())\n\
+             }\n",
+        );
+        let fired = fired_rules(&rel, &source);
+        assert!(
+            fired.contains("rank-branch-collective"),
+            "{rel}: injected deadlock not caught; fired {fired:?}"
+        );
+    }
+}
+
+/// Acceptance check: injecting an unsorted `HashMap` drain into a real
+/// trainer makes the gate fail.
+#[test]
+fn injected_hashmap_drain_fails_the_gate() {
+    let root = workspace_root();
+    for trainer in ["qd1.rs", "qd2.rs", "qd3.rs", "qd4.rs", "yggdrasil.rs", "featpar.rs"] {
+        let rel = format!("crates/quadrants/src/{trainer}");
+        let mut source = fs::read_to_string(root.join(&rel)).expect("trainer source readable");
+        source.push_str(
+            "\n\npub fn injected_drain(map: &mut std::collections::HashMap<u32, f64>) -> Vec<(u32, f64)> {\n\
+             \x20   let mut out = Vec::new();\n\
+             \x20   for (k, v) in map.drain() {\n\
+             \x20       out.push((k, v));\n\
+             \x20   }\n\
+             \x20   out\n\
+             }\n",
+        );
+        let fired = fired_rules(&rel, &source);
+        assert!(
+            fired.contains("map-iteration"),
+            "{rel}: injected hash drain not caught; fired {fired:?}"
+        );
+    }
+}
+
+/// A pragma only licenses the rule it names — `allow(wall-clock)` does not
+/// quiet a map-iteration finding on the same line.
+#[test]
+fn pragma_is_rule_specific() {
+    let src = "\
+use std::collections::HashMap;
+pub fn f(m: &HashMap<u32, f64>) -> f64 {
+    let mut s = 0.0;
+    // lint: allow(wall-clock) — wrong rule on purpose
+    for v in m.values() { s += v; }
+    s
+}
+";
+    let fired = fired_rules("crates/core/src/x.rs", src);
+    assert!(fired.contains("map-iteration"), "mismatched pragma must not suppress: {fired:?}");
+
+    let src_ok = src.replace("allow(wall-clock)", "allow(map-iteration)");
+    let fired_ok = fired_rules("crates/core/src/x.rs", &src_ok);
+    assert!(fired_ok.is_empty(), "matching pragma must suppress: {fired_ok:?}");
+}
+
+/// Scoping: the same source is clean outside the rule's scope and dirty
+/// inside it.
+#[test]
+fn rules_respect_path_scopes() {
+    let src = "pub fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+    // bench is a sanctioned timing site; trainers are not.
+    assert!(fired_rules("crates/bench/src/run.rs", src).is_empty());
+    assert!(fired_rules("crates/cluster/src/stats.rs", src).is_empty());
+    let fired = fired_rules("crates/quadrants/src/qd1.rs", src);
+    assert!(fired.contains("wall-clock"), "{fired:?}");
+}

@@ -18,6 +18,9 @@ const UNIVERSAL_VALUE_KEYS: [&str; 4] = ["threads", "wire", "storage", "faults"]
 /// Parsed command-line arguments.
 #[derive(Debug, Clone)]
 pub struct Args {
+    // HashMap is fine here (and outside gbdt-lint's map-iteration scope):
+    // it is only ever read by key — nothing iterates it, so hash order
+    // cannot reach any result or wire byte.
     values: HashMap<String, String>,
     flags: Vec<String>,
 }

@@ -46,6 +46,7 @@ impl WorkerCtx {
 
     /// Times `f` as computation in `phase` (convenience passthrough).
     pub fn time<T>(&mut self, phase: crate::stats::Phase, f: impl FnOnce() -> T) -> T {
+        // lint: allow(wall-clock) — measures computation time for modelled stats only
         let start = std::time::Instant::now();
         let out = f();
         self.stats.add_comp(phase, start.elapsed().as_secs_f64());
@@ -190,6 +191,7 @@ impl Cluster {
         // wasted are real overhead and must survive into the final report.
         let mut carry: Vec<WorkerStats> = vec![WorkerStats::default(); self.world];
         loop {
+            // lint: allow(wall-clock) — measures computation time for modelled stats only
             let start = std::time::Instant::now();
             match self.run_attempt(&f, &crash_fired, store) {
                 Ok((outputs, mut stats)) => {

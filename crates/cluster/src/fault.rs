@@ -172,6 +172,7 @@ impl FaultPlan {
             .crashes
             .iter_mut()
             .find(|c| c.is_none())
+            // lint: allow(panic-call) — plan-construction misuse is a test-setup bug, not a comm fault
             .unwrap_or_else(|| panic!("fault plan holds at most {MAX_CRASHES} crashes"));
         *slot = Some(CrashPoint { rank: rank as u16, tree: tree as u32, layer: layer as u32 });
         self
@@ -184,6 +185,7 @@ impl FaultPlan {
             .slow
             .iter_mut()
             .find(|s| s.is_none())
+            // lint: allow(panic-call) — plan-construction misuse is a test-setup bug, not a comm fault
             .unwrap_or_else(|| panic!("fault plan holds at most {MAX_SLOW} stragglers"));
         *slot = Some((rank as u16, factor as f32));
         self

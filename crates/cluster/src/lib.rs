@@ -38,7 +38,7 @@ pub mod stats;
 pub mod wire;
 
 pub use cluster::{Cluster, WorkerCtx};
-pub use comm::Comm;
+pub use comm::{protocol, Comm};
 pub use cost::NetworkCostModel;
 pub use fault::{CommError, FaultPlan, InjectedCrash};
 pub use stats::{Phase, WorkerStats};

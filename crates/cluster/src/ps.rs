@@ -46,6 +46,7 @@ impl Comm {
             }
         }
         // Serve my shard: start from my local slice, add peers in rank order.
+        // lint: allow(slice-index) — ranges.len() == world is asserted at entry
         let (lo, hi) = ranges[r];
         let mut reduced = buf[lo..hi].to_vec();
         for from in 0..self.world() {

@@ -13,7 +13,7 @@ use crate::gradients::GradPair;
 use crate::split::NodeStats;
 use gbdt_data::{BinId, FeatureId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// `Sizehist` — histogram bytes for one tree node (paper §3.1.1).
 pub const fn histogram_size_bytes(n_features: usize, n_bins: usize, n_outputs: usize) -> usize {
@@ -101,6 +101,20 @@ impl NodeHistogram {
     /// (the aggregation step of horizontal partitioning, §2.2.1).
     pub fn merge_from(&mut self, other: &NodeHistogram) {
         assert_eq!(self.data.len(), other.data.len(), "histogram shape mismatch");
+        // Equal flat length does not imply equal (D, B, C) factorization;
+        // merging a transposed shape would silently scramble bins.
+        debug_assert!(
+            self.n_features == other.n_features
+                && self.n_bins == other.n_bins
+                && self.n_outputs == other.n_outputs,
+            "histogram factor mismatch: ({}, {}, {}) vs ({}, {}, {})",
+            self.n_features,
+            self.n_bins,
+            self.n_outputs,
+            other.n_features,
+            other.n_bins,
+            other.n_outputs
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -112,6 +126,18 @@ impl NodeHistogram {
     /// histogram equals parent minus the built child.
     pub fn subtract_from(&mut self, other: &NodeHistogram) {
         assert_eq!(self.data.len(), other.data.len(), "histogram shape mismatch");
+        debug_assert!(
+            self.n_features == other.n_features
+                && self.n_bins == other.n_bins
+                && self.n_outputs == other.n_outputs,
+            "histogram factor mismatch: ({}, {}, {}) vs ({}, {}, {})",
+            self.n_features,
+            self.n_bins,
+            self.n_outputs,
+            other.n_features,
+            other.n_bins,
+            other.n_outputs
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a -= b;
         }
@@ -245,7 +271,7 @@ pub struct HistogramPool {
     n_features: usize,
     n_bins: usize,
     n_outputs: usize,
-    live: HashMap<u32, NodeHistogram>,
+    live: BTreeMap<u32, NodeHistogram>,
     free: Vec<NodeHistogram>,
     current_bytes: usize,
     peak_bytes: usize,
@@ -258,7 +284,7 @@ impl HistogramPool {
             n_features,
             n_bins,
             n_outputs,
-            live: HashMap::new(),
+            live: BTreeMap::new(),
             free: Vec::new(),
             current_bytes: 0,
             peak_bytes: 0,

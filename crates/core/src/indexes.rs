@@ -16,21 +16,21 @@
 //!   D-times-higher split cost the paper calls out.
 
 use gbdt_data::{BinId, BinnedColumns, ColumnStore, InstanceId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Node-to-instance index: a positions array partitioned by tree node.
 #[derive(Debug, Clone)]
 pub struct NodeToInstanceIndex {
     positions: Vec<InstanceId>,
     /// node id → `[start, end)` range into `positions`.
-    ranges: HashMap<u32, (u32, u32)>,
+    ranges: BTreeMap<u32, (u32, u32)>,
     scratch: Vec<InstanceId>,
 }
 
 impl NodeToInstanceIndex {
     /// All `n_instances` instances start on the root node (id 0).
     pub fn new(n_instances: usize) -> Self {
-        let mut ranges = HashMap::new();
+        let mut ranges = BTreeMap::new();
         ranges.insert(0, (0, n_instances as u32));
         NodeToInstanceIndex {
             positions: (0..n_instances as InstanceId).collect(),
@@ -91,6 +91,13 @@ impl NodeToInstanceIndex {
         self.positions[write..hi].copy_from_slice(&self.scratch);
         let (left, right) = crate::tree::children(node);
         self.ranges.remove(&node);
+        // Children must partition the parent's range exactly; a re-split or
+        // id collision would alias two nodes onto overlapping positions.
+        debug_assert!(
+            !self.ranges.contains_key(&left) && !self.ranges.contains_key(&right),
+            "child node already tracked: split of {node} would alias ranges"
+        );
+        debug_assert!(lo <= write && write <= hi, "split point outside parent range");
         self.ranges.insert(left, (lo as u32, write as u32));
         self.ranges.insert(right, (write as u32, hi as u32));
         (write - lo, hi - write)
@@ -174,7 +181,7 @@ pub struct ColumnWiseIndex {
     col_rows: Vec<Vec<InstanceId>>,
     col_bins: Vec<Vec<BinId>>,
     /// node id → per-column `[start, end)` ranges.
-    ranges: HashMap<u32, Vec<(u32, u32)>>,
+    ranges: BTreeMap<u32, Vec<(u32, u32)>>,
 }
 
 impl ColumnWiseIndex {
@@ -190,7 +197,7 @@ impl ColumnWiseIndex {
             col_bins.push(bins.to_vec());
             root_ranges.push((0u32, rows.len() as u32));
         }
-        let mut ranges = HashMap::new();
+        let mut ranges = BTreeMap::new();
         ranges.insert(0, root_ranges);
         ColumnWiseIndex { n_rows: columns.n_rows(), col_rows, col_bins, ranges }
     }
@@ -215,7 +222,7 @@ impl ColumnWiseIndex {
             col_rows.push(rows);
             col_bins.push(bins);
         }
-        let mut ranges = HashMap::new();
+        let mut ranges = BTreeMap::new();
         ranges.insert(0, root_ranges);
         ColumnWiseIndex { n_rows: columns.n_rows(), col_rows, col_bins, ranges }
     }
@@ -274,6 +281,11 @@ impl ColumnWiseIndex {
             right_ranges.push((write as u32, hi as u32));
         }
         let (left, right) = crate::tree::children(node);
+        // Same aliasing guard as NodeToInstanceIndex::split, per column.
+        debug_assert!(
+            !self.ranges.contains_key(&left) && !self.ranges.contains_key(&right),
+            "child node already tracked: split of {node} would alias ranges"
+        );
         self.ranges.insert(left, left_ranges);
         self.ranges.insert(right, right_ranges);
     }

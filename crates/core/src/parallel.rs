@@ -163,6 +163,7 @@ pub fn build_histogram_chunked(
 
     let t = threads.min(n_chunks);
     let mut scratch: Vec<NodeHistogram> = (0..t).map(|_| pool.take_scratch()).collect();
+    // lint: allow(wall-clock) — measures computation time for modelled stats only
     let start = Instant::now();
     let busy = AtomicU64::new(0);
     {
@@ -179,6 +180,7 @@ pub fn build_histogram_chunked(
                     let fill = &fill;
                     let busy = &busy;
                     s.spawn(move || {
+                        // lint: allow(wall-clock) — measures computation time for modelled stats only
                         let t0 = Instant::now();
                         sc.zero();
                         fill(sc, chunk);
@@ -188,6 +190,7 @@ pub fn build_histogram_chunked(
             });
             // …then the partials merge in ascending chunk order. Across
             // waves this chains `hist += pᵢ` for i = 0, 1, 2, … exactly.
+            // lint: allow(wall-clock) — measures computation time for modelled stats only
             let t0 = Instant::now();
             for sc in &scratch[..wave] {
                 hist.merge_from(sc);
@@ -226,6 +229,7 @@ pub fn par_feature_fill(
     }
     let t = threads.min(d);
     let per = d.div_ceil(t);
+    // lint: allow(wall-clock) — measures computation time for modelled stats only
     let start = Instant::now();
     let busy = AtomicU64::new(0);
     std::thread::scope(|s| {
@@ -233,6 +237,7 @@ pub fn par_feature_fill(
             let fill = &fill;
             let busy = &busy;
             s.spawn(move || {
+                // lint: allow(wall-clock) — measures computation time for modelled stats only
                 let t0 = Instant::now();
                 for (k, slice) in block.chunks_mut(stride).enumerate() {
                     fill(bi * per + k, slice);

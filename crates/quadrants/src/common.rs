@@ -153,6 +153,12 @@ pub fn set_leaf(tree: &mut Tree, node: u32, stats: &NodeStats, lambda: f64, eta:
     tree.set_leaf_from_stats(node, stats, lambda, eta);
 }
 
+/// Per-node gradient sums, ordered by node id. A `BTreeMap` by
+/// construction: frontier contents feed split decisions and (via leaf
+/// weights) the model itself, so no iteration over this map may depend on
+/// process-random hash order (lint rule `map-iteration`).
+pub type NodeStatsMap = std::collections::BTreeMap<u32, NodeStats>;
+
 /// Frontier bookkeeping for one growing tree: per-node stats and global
 /// instance counts (counts gate `min_node_instances` and drive the
 /// subtraction schedule).
@@ -161,9 +167,9 @@ pub struct Frontier {
     /// Nodes to process this layer, ascending.
     pub nodes: Vec<u32>,
     /// Global gradient sums per node.
-    pub stats: std::collections::HashMap<u32, NodeStats>,
+    pub stats: NodeStatsMap,
     /// Global instance counts per node.
-    pub counts: std::collections::HashMap<u32, u64>,
+    pub counts: std::collections::BTreeMap<u32, u64>,
 }
 
 impl Frontier {

@@ -233,8 +233,8 @@ fn train_worker(
 
         // Update local scores: every instance's final node is a leaf.
         ctx.time(Phase::Predict, || {
-            let mut leaf_values: std::collections::HashMap<u32, Vec<f64>> =
-                std::collections::HashMap::new();
+            let mut leaf_values: std::collections::BTreeMap<u32, Vec<f64>> =
+                std::collections::BTreeMap::new();
             for &leaf in &leaves {
                 if let tree::NodeKind::Leaf { values } = &tree.node(leaf).expect("leaf set").kind
                 {
@@ -324,12 +324,14 @@ fn build_layer_histograms(
         }
     }
 
+    // lint: allow(wall-clock) — measures computation time for modelled stats only
     let start = std::time::Instant::now();
     let busy = std::sync::atomic::AtomicU64::new(0);
     std::thread::scope(|s| {
         for (bi, mut blocks) in thread_blocks.into_iter().enumerate() {
             let busy = &busy;
             s.spawn(move || {
+                // lint: allow(wall-clock) — measures computation time for modelled stats only
                 let t0 = std::time::Instant::now();
                 let lo = bi * per;
                 let hi = (lo + per).min(d);

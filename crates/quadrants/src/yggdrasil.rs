@@ -278,9 +278,10 @@ fn placement_bitmap(
 ) -> PlacementBitmap {
     let local_feat = grouping.local_id(split.feature) as usize;
     let (insts, bins) = cw_index.node_column(node, local_feat);
-    // Present instances, by id.
-    let mut present: std::collections::HashMap<u32, u16> =
-        std::collections::HashMap::with_capacity(insts.len());
+    // Present instances, by id. BTreeMap so placement never depends on hash
+    // order (only keyed lookups today, but the bitmap reaches the wire).
+    let mut present: std::collections::BTreeMap<u32, u16> =
+        std::collections::BTreeMap::new();
     for (&i, &b) in insts.iter().zip(bins) {
         present.insert(i, b);
     }
