@@ -60,6 +60,11 @@ pub const RULES: &[(&str, &str)] = &[
         "CommError results must propagate with ? — unwrap/expect on a comm call \
          turns a recoverable fault into a worker abort",
     ),
+    (
+        "unsafe-outside-simd",
+        "the `unsafe` keyword is confined to gbdt-core::kernels::simd, the one \
+         audited module; everywhere else memory safety stays compiler-checked",
+    ),
 ];
 
 // ---------------------------------------------------------------------------
@@ -605,6 +610,41 @@ fn check_comm_unwrap(path: &str, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: unsafe-outside-simd
+// ---------------------------------------------------------------------------
+
+/// The one module whose `unsafe` has been audited: the fixed-width lane
+/// structs and accumulate helpers behind the SIMD histogram fills. Every
+/// other file keeps the compiler's memory-safety checks.
+fn unsafe_scope(path: &str) -> bool {
+    path != "crates/core/src/kernels/simd.rs"
+}
+
+/// Any `unsafe` token (block, fn, impl, trait) outside the audited SIMD
+/// module. The lexer treats keywords as identifiers, so a plain ident scan
+/// covers every syntactic position; comments and strings are already
+/// stripped.
+fn check_unsafe_outside_simd(path: &str, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    if !unsafe_scope(path) {
+        return;
+    }
+    for t in &lexed.tokens {
+        if t.ident() == Some("unsafe") {
+            push_diag(
+                out,
+                lexed,
+                path,
+                t,
+                "unsafe-outside-simd",
+                "`unsafe` outside gbdt-core::kernels::simd; move the code into the \
+                 audited module or find a safe formulation"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Entry point
 // ---------------------------------------------------------------------------
 
@@ -619,6 +659,7 @@ pub fn check_file(path: &str, lexed: &Lexed) -> Vec<Diagnostic> {
     check_slice_index(path, lexed, &mut out);
     check_fault_point(path, lexed, &mut out);
     check_comm_unwrap(path, lexed, &mut out);
+    check_unsafe_outside_simd(path, lexed, &mut out);
     protocol::check_rank_branches(path, lexed, &mut out);
     protocol::check_tag_registry(path, lexed, &mut out);
     out.sort_by_key(|d| (d.line, d.col));

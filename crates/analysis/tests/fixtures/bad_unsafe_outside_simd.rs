@@ -1,0 +1,12 @@
+//@ path: crates/core/src/kernels.rs
+//@ expect: unsafe-outside-simd
+// Known-bad: an unchecked accumulate outside the audited SIMD module.
+// The speedup is real but the audit boundary is the point — unsafe lives
+// only in gbdt-core::kernels::simd, where the lane-group range proofs are.
+
+pub fn add_pair_fast(data: &mut [f64], idx: usize, g: f64, h: f64) {
+    unsafe {
+        *data.get_unchecked_mut(idx) += g;
+        *data.get_unchecked_mut(idx + 1) += h;
+    }
+}

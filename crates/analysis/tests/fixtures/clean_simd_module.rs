@@ -1,0 +1,14 @@
+//@ path: crates/core/src/kernels/simd.rs
+// Clean: the audited SIMD module is the one place `unsafe` is licensed.
+// The same tokens at any other path fire unsafe-outside-simd (see
+// bad_unsafe_outside_simd.rs).
+
+pub fn add_pair(data: &mut [f64], idx: usize, g: f64, h: f64) {
+    debug_assert!(idx + 1 < data.len());
+    // SAFETY: callers prove `idx + 1 < data.len()` from the lane-group
+    // range check.
+    unsafe {
+        *data.get_unchecked_mut(idx) += g;
+        *data.get_unchecked_mut(idx + 1) += h;
+    }
+}

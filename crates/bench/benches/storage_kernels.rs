@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gbdt_core::histogram::NodeHistogram;
 use gbdt_core::kernels::{fill_column_slice, fill_dense_rows, fill_sparse_rows};
-use gbdt_core::GradBuffer;
+use gbdt_core::{GradBuffer, Kernel};
 use gbdt_data::binned::BinnedRowsBuilder;
 use gbdt_data::dense_binned::{BinWidth, DenseBinnedRows};
 use gbdt_data::{BinnedRows, BinnedStore};
@@ -63,17 +63,21 @@ fn bench_row_kernels(c: &mut Criterion) {
         });
         for width in [BinWidth::U8, BinWidth::U16] {
             let dense = DenseBinnedRows::from_sparse_with_width(&sparse, Q, width);
-            let label = match width {
-                BinWidth::U8 => "dense_u8",
-                BinWidth::U16 => "dense_u16",
-            };
-            group.bench_function(BenchmarkId::new(label, format!("C{n_outputs}")), |b| {
-                b.iter(|| {
-                    let mut hist = NodeHistogram::new(D, Q, n_outputs);
-                    fill_dense_rows(&mut hist, &chunk, &dense, &grads);
-                    black_box(hist)
-                })
-            });
+            for kernel in Kernel::ALL {
+                let label = match (width, kernel) {
+                    (BinWidth::U8, Kernel::Scalar) => "dense_u8_scalar",
+                    (BinWidth::U16, Kernel::Scalar) => "dense_u16_scalar",
+                    (BinWidth::U8, Kernel::Simd) => "dense_u8_simd",
+                    (BinWidth::U16, Kernel::Simd) => "dense_u16_simd",
+                };
+                group.bench_function(BenchmarkId::new(label, format!("C{n_outputs}")), |b| {
+                    b.iter(|| {
+                        let mut hist = NodeHistogram::new(D, Q, n_outputs);
+                        fill_dense_rows(&mut hist, &chunk, &dense, &grads, kernel);
+                        black_box(hist)
+                    })
+                });
+            }
         }
     }
     group.finish();
@@ -89,16 +93,18 @@ fn bench_column_kernels(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("storage_column_kernels");
     for (label, store) in &stores {
-        group.bench_function(BenchmarkId::new(*label, "C1"), |b| {
-            b.iter(|| {
-                let mut hist = NodeHistogram::new(D, Q, 1);
-                let stride = hist.feature_stride();
-                for (j, slice) in hist.as_mut_slice().chunks_mut(stride).enumerate() {
-                    fill_column_slice(slice, 1, store, j, &grads);
-                }
-                black_box(hist)
-            })
-        });
+        for kernel in Kernel::ALL {
+            group.bench_function(BenchmarkId::new(*label, format!("C1_{}", kernel.label())), |b| {
+                b.iter(|| {
+                    let mut hist = NodeHistogram::new(D, Q, 1);
+                    let stride = hist.feature_stride();
+                    for (j, slice) in hist.as_mut_slice().chunks_mut(stride).enumerate() {
+                        fill_column_slice(slice, 1, store, j, &grads, kernel);
+                    }
+                    black_box(hist)
+                })
+            });
+        }
     }
     group.finish();
 }

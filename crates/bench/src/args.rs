@@ -4,16 +4,17 @@
 //! typos fail loudly.
 
 use gbdt_cluster::FaultPlan;
-use gbdt_core::{Storage, WireCodec};
+use gbdt_core::{Kernel, Storage, WireCodec};
 use std::collections::HashMap;
 
 /// Value keys every experiment binary accepts without listing them:
 /// `--threads N` sets the intra-worker thread budget (0 = auto),
 /// `--wire {dense,sparse,auto,f32}` picks the histogram wire codec,
-/// `--storage {auto,sparse,dense}` picks the binned storage layout, and
-/// `--faults seed:spec` injects a deterministic fault plan (e.g.
+/// `--storage {auto,sparse,dense,dense-u16}` picks the binned storage
+/// layout, `--kernel {simd,scalar}` picks the dense histogram fill kernel,
+/// and `--faults seed:spec` injects a deterministic fault plan (e.g.
 /// `--faults "7:drop=0.05,dup=0.02,crash=1@3"`).
-const UNIVERSAL_VALUE_KEYS: [&str; 4] = ["threads", "wire", "storage", "faults"];
+const UNIVERSAL_VALUE_KEYS: [&str; 5] = ["threads", "wire", "storage", "kernel", "faults"];
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone)]
@@ -102,6 +103,13 @@ impl Args {
         self.get_or("storage", Storage::Auto)
     }
 
+    /// The `--kernel` dense histogram fill kernel every binary accepts
+    /// (default: simd — the lane-group fast path). Every choice trains
+    /// the identical ensemble.
+    pub fn kernel(&self) -> Kernel {
+        self.get_or("kernel", Kernel::Simd)
+    }
+
     /// The `--faults seed:spec` fault-injection plan every binary accepts
     /// (default: none — fault-free execution).
     pub fn faults(&self) -> Option<FaultPlan> {
@@ -164,6 +172,19 @@ mod tests {
     #[should_panic(expected = "bad --storage")]
     fn rejects_unknown_storage_layout() {
         Args::parse_from(strs(&["--storage", "columnar"]), &[], &[]).storage();
+    }
+
+    #[test]
+    fn kernel_key_is_universal() {
+        let args = Args::parse_from(strs(&["--kernel", "scalar"]), &[], &[]);
+        assert_eq!(args.kernel(), Kernel::Scalar);
+        assert_eq!(Args::parse_from(strs(&[]), &[], &[]).kernel(), Kernel::Simd);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad --kernel")]
+    fn rejects_unknown_kernel() {
+        Args::parse_from(strs(&["--kernel", "avx512"]), &[], &[]).kernel();
     }
 
     #[test]

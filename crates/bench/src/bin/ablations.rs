@@ -42,6 +42,7 @@ fn main() {
         .threads(args.threads())
         .wire(args.wire())
         .storage(args.storage())
+        .kernel(args.kernel())
         .build()
         .unwrap();
 

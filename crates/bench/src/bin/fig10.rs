@@ -28,6 +28,7 @@ struct Knobs {
     threads: usize,
     wire: WireCodec,
     storage: Storage,
+    kernel: gbdt_core::Kernel,
 }
 
 struct Point {
@@ -69,6 +70,7 @@ fn config(p: &Point, knobs: Knobs) -> TrainConfig {
         .threads(knobs.threads)
         .wire(knobs.wire)
         .storage(knobs.storage)
+        .kernel(knobs.kernel)
         .build()
         .expect("valid fig10 config")
 }
@@ -102,7 +104,13 @@ fn main() {
     let scale = args.get_or("scale", 1.0f64);
     let workers = args.get_or("workers", 8usize);
     let trees = args.get_or("trees", 3usize);
-    let knobs = Knobs { trees, threads: args.threads(), wire: args.wire(), storage: args.storage() };
+    let knobs = Knobs {
+        trees,
+        threads: args.threads(),
+        wire: args.wire(),
+        storage: args.storage(),
+        kernel: args.kernel(),
+    };
     let which = args.get("plot").map(str::to_string);
     let want = |p: &str| which.as_deref().is_none_or(|w| w == p);
     let sc = |n: usize| ((n as f64 / (500.0 * scale)) as usize).max(1000);

@@ -44,6 +44,7 @@ fn main() {
         cfg.threads = args.threads();
         cfg.wire = args.wire();
         cfg.storage = args.storage();
+        cfg.kernel = args.kernel();
 
         w.section(&format!(
             "{name}: N={} D={} C={} W={workers} (10 Gbps links, paper §6)",

@@ -4,21 +4,26 @@
 //! `--storage` layout with a row-scan quadrant (QD2) and a vertical
 //! row-store quadrant (QD4/Vero), recording trees/sec, peak histogram
 //! bytes, and binned-storage bytes per mode, plus a microbenchmark of the
-//! raw row kernels (sparse pair walk vs dense `u8` scan, `C = 1`). The
-//! report lands in `BENCH_PR4.json` (override with `--out`); ensembles are
-//! asserted bit-identical across every layout before anything is written.
+//! raw row kernels (sparse pair walk vs dense `u8` scan under both the
+//! scalar and SIMD fill kernels, `C = 1`). The report lands in
+//! `BENCH_PR4.json` (override with `--out`); ensembles are asserted
+//! bit-identical across every layout before anything is written.
+//!
+//! For the full system × storage × codec × threads × kernel sweep this
+//! binary grew into, see the `grid` binary and `benchgrids/`.
 //!
 //! ```text
 //! cargo run --release --bin storage_smoke -- --trees 10
 //! ```
 
 use gbdt_bench::args::Args;
+use gbdt_bench::output::write_trajectory;
 use gbdt_bench::systems::System;
 use gbdt_cluster::Cluster;
+use gbdt_core::binning::BinCuts;
 use gbdt_core::histogram::NodeHistogram;
 use gbdt_core::kernels::{fill_dense_rows, fill_sparse_rows};
-use gbdt_core::{GradBuffer, Storage, TrainConfig};
-use gbdt_core::binning::BinCuts;
+use gbdt_core::{GradBuffer, Kernel, Storage, TrainConfig};
 use gbdt_data::dense_binned::DenseBinnedRows;
 use gbdt_data::synthetic::SyntheticConfig;
 use serde_json::json;
@@ -53,6 +58,7 @@ fn main() {
                 .n_layers(6)
                 .threads(args.threads())
                 .storage(storage)
+                .kernel(args.kernel())
                 .build()
                 .unwrap();
             let start = Instant::now();
@@ -78,7 +84,7 @@ fn main() {
     }
 
     // Kernel microbenchmark: the headline dense-vs-sparse claim on fully
-    // dense data, C = 1, u8 cells.
+    // dense data, C = 1, u8 cells, under both dense fill kernels.
     let sparse = BinCuts::from_dataset(&ds, 20).apply(&ds);
     let dense = DenseBinnedRows::from_sparse(&sparse, 20);
     let (n, d) = (sparse.n_rows(), sparse.n_features());
@@ -88,7 +94,7 @@ fn main() {
     }
     let chunk: Vec<u32> = (0..n as u32).collect();
     let reps = 30usize.max((300.0 * scale) as usize / 10);
-    let time = |mut fill: Box<dyn FnMut(&mut NodeHistogram)>| -> f64 {
+    let time = |mut fill: Box<dyn FnMut(&mut NodeHistogram) + '_>| -> f64 {
         let mut best = f64::INFINITY;
         for _ in 0..reps {
             let mut hist = NodeHistogram::new(d, 20, 1);
@@ -100,7 +106,9 @@ fn main() {
         best
     };
     let t_sparse = time(Box::new(|h| fill_sparse_rows(h, &chunk, &sparse, &grads)));
-    let t_dense = time(Box::new(|h| fill_dense_rows(h, &chunk, &dense, &grads)));
+    let t_scalar =
+        time(Box::new(|h| fill_dense_rows(h, &chunk, &dense, &grads, Kernel::Scalar)));
+    let t_simd = time(Box::new(|h| fill_dense_rows(h, &chunk, &dense, &grads, Kernel::Simd)));
 
     let report = json!({
         "benchmark": "PR4 dense binned storage fast path",
@@ -115,16 +123,22 @@ fn main() {
         "end_to_end": runs,
         "kernel_c1_u8": {
             "sparse_fill_s": t_sparse,
-            "dense_fill_s": t_dense,
-            "dense_speedup": t_sparse / t_dense,
+            "dense_fill_s": t_scalar,
+            "dense_simd_fill_s": t_simd,
+            "dense_speedup": t_sparse / t_scalar,
+            "simd_speedup_vs_scalar": t_scalar / t_simd,
+            "simd_speedup_vs_sparse": t_sparse / t_simd,
             "sparse_heap_bytes": sparse.heap_bytes(),
             "dense_heap_bytes": dense.heap_bytes(),
             "dense_bytes_ratio": dense.heap_bytes() as f64 / sparse.heap_bytes() as f64,
         },
     });
-    std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap()).unwrap();
-    println!("kernel C=1 u8: dense {:.2}x faster, {:.2}x the bytes",
-        t_sparse / t_dense,
-        dense.heap_bytes() as f64 / sparse.heap_bytes() as f64);
+    write_trajectory(&out, &report).unwrap();
+    println!(
+        "kernel C=1 u8: dense scalar {:.2}x vs sparse, SIMD {:.2}x vs scalar ({:.2}x vs sparse)",
+        t_sparse / t_scalar,
+        t_scalar / t_simd,
+        t_sparse / t_simd
+    );
     println!("wrote {out}");
 }

@@ -30,6 +30,7 @@ fn main() {
             .threads(args.threads())
             .wire(args.wire())
             .storage(args.storage())
+            .kernel(args.kernel())
             .build()
             .unwrap();
         let cluster = Cluster::new(5);

@@ -37,6 +37,7 @@ fn main() {
             .threads(args.threads())
             .wire(args.wire())
             .storage(args.storage())
+            .kernel(args.kernel())
             .build()
             .unwrap();
         let cluster = Cluster::new(workers);

@@ -1,0 +1,593 @@
+//! Params-grid benchmark runner + perf-regression comparison.
+//!
+//! A grid spec (JSON, see `benchgrids/`) names a synthetic dataset and the
+//! axes to sweep — system × storage × wire codec × threads × kernel. The
+//! runner trains every cell, asserts bit-identity across all
+//! lossless-codec cells of one system (the determinism contract every PR
+//! leans on), optionally times the raw fill kernels on the same data, and
+//! emits a trajectory report ([`crate::output::write_trajectory`] format)
+//! that gets checked in as `BENCH_PRn.json`.
+//!
+//! [`compare_reports`] is the regression gate: given the last checked-in
+//! baseline and a fresh candidate it matches cells by their full axis key
+//! and reports every cell whose `trees_per_sec` dropped — or kernel whose
+//! fill time rose — by more than the tolerance. The `grid` binary exits
+//! nonzero on any regression, which is what CI's `perf` job enforces.
+//! Timings are machine-specific: a baseline only gates runs on hardware
+//! comparable to the machine that produced it (regenerate the baseline
+//! when the fleet changes).
+
+use crate::systems::System;
+use gbdt_cluster::Cluster;
+use gbdt_core::binning::BinCuts;
+use gbdt_core::histogram::NodeHistogram;
+use gbdt_core::kernels::{fill_dense_rows, fill_sparse_rows};
+use gbdt_core::{GradBuffer, Kernel, Storage, TrainConfig, WireCodec};
+use gbdt_data::dense_binned::{BinWidth, DenseBinnedRows};
+use gbdt_data::synthetic::SyntheticConfig;
+use gbdt_data::Dataset;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A parsed params grid: dataset shape plus the axes to sweep.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Report name (`"benchmark"` field of the trajectory).
+    pub name: String,
+    /// Synthetic dataset: instances, features, classes, density, seed.
+    pub dataset: SyntheticConfig,
+    /// T — trees per cell.
+    pub trees: usize,
+    /// L — layers per tree.
+    pub layers: usize,
+    /// W — cluster size.
+    pub workers: usize,
+    /// q — histogram bins (also the kernel-microbench pack width driver).
+    pub n_bins: usize,
+    /// Systems axis (paper names, e.g. `"LightGBM"`, `"Vero"`).
+    pub systems: Vec<System>,
+    /// Storage-layout axis.
+    pub storage: Vec<Storage>,
+    /// Wire-codec axis.
+    pub wire: Vec<WireCodec>,
+    /// Thread-budget axis (0 = auto).
+    pub threads: Vec<usize>,
+    /// Dense fill-kernel axis.
+    pub kernels: Vec<Kernel>,
+    /// Whether to also time the raw fill kernels (sparse, dense scalar,
+    /// dense SIMD × u8/u16) on the grid dataset.
+    pub kernel_microbench: bool,
+    /// Training runs per cell; the reported wall time is the best of them.
+    /// Cells run ~0.1 s, short enough that a co-tenant burst can distort a
+    /// single sample by well over the gate tolerance — best-of-N recovers
+    /// the quiet-machine time on both sides of the comparison.
+    pub reps: usize,
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Value::as_u64).ok_or(format!("grid spec needs integer '{key}'"))
+}
+
+fn axis<T, F: Fn(&str) -> Result<T, String>>(
+    v: &Value,
+    key: &str,
+    default: T,
+    parse: F,
+) -> Result<Vec<T>, String> {
+    match v.get(key) {
+        None => Ok(vec![default]),
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|it| parse(it.as_str().ok_or(format!("'{key}' entries must be strings"))?))
+            .collect(),
+        Some(_) => Err(format!("'{key}' must be an array")),
+    }
+}
+
+impl GridSpec {
+    /// Parses a spec from its JSON value, rejecting unknown axis entries.
+    pub fn from_value(v: &Value) -> Result<GridSpec, String> {
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("grid spec needs string 'name'")?
+            .to_string();
+        let ds = v.get("dataset").ok_or("grid spec needs object 'dataset'")?;
+        let dataset = SyntheticConfig {
+            n_instances: req_u64(ds, "n_instances")? as usize,
+            n_features: req_u64(ds, "n_features")? as usize,
+            n_classes: ds.get("n_classes").and_then(Value::as_u64).unwrap_or(2) as usize,
+            density: ds.get("density").and_then(Value::as_f64).unwrap_or(1.0),
+            seed: req_u64(ds, "seed")?,
+            ..Default::default()
+        };
+        let spec = GridSpec {
+            name,
+            dataset,
+            trees: req_u64(v, "trees")? as usize,
+            layers: req_u64(v, "layers")? as usize,
+            workers: req_u64(v, "workers")? as usize,
+            n_bins: v.get("n_bins").and_then(Value::as_u64).unwrap_or(20) as usize,
+            systems: axis(v, "systems", System::LightGbmLike, |s| {
+                System::from_name(s).ok_or(format!("unknown system '{s}'"))
+            })?,
+            storage: axis(v, "storage", Storage::Auto, |s| s.parse())?,
+            wire: axis(v, "wire", WireCodec::Dense, |s| s.parse())?,
+            threads: match v.get("threads") {
+                None => vec![0],
+                Some(Value::Array(items)) => items
+                    .iter()
+                    .map(|it| {
+                        it.as_u64().map(|t| t as usize).ok_or("'threads' entries must be integers".to_string())
+                    })
+                    .collect::<Result<_, _>>()?,
+                Some(_) => return Err("'threads' must be an array".into()),
+            },
+            kernels: axis(v, "kernels", Kernel::Simd, |s| s.parse())?,
+            kernel_microbench: v
+                .get("kernel_microbench")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+            reps: v.get("reps").and_then(Value::as_u64).unwrap_or(3) as usize,
+        };
+        if spec.systems.is_empty() || spec.storage.is_empty() || spec.kernels.is_empty() {
+            return Err("every axis needs at least one entry".into());
+        }
+        if spec.reps == 0 {
+            return Err("'reps' must be at least 1".into());
+        }
+        Ok(spec)
+    }
+
+    /// Parses a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<GridSpec, String> {
+        GridSpec::from_value(&serde_json::from_str::<Value>(text).map_err(|e| format!("{e:?}"))?)
+    }
+
+    /// Number of cells the sweep will run.
+    pub fn n_cells(&self) -> usize {
+        self.systems.len()
+            * self.storage.len()
+            * self.wire.len()
+            * self.threads.len()
+            * self.kernels.len()
+    }
+}
+
+/// Runs every cell of the grid and returns the trajectory report. Panics
+/// if any lossless-codec cell of one system trains a different ensemble
+/// than that system's first cell — perf sweeps must never change bits.
+pub fn run_grid(spec: &GridSpec) -> Value {
+    let ds = spec.dataset.generate();
+    let cluster = Cluster::new(spec.workers);
+    let mut cells: Vec<Value> = Vec::new();
+    for &system in &spec.systems {
+        let mut reference = None;
+        for &storage in &spec.storage {
+            for &wire in &spec.wire {
+                for &threads in &spec.threads {
+                    for &kernel in &spec.kernels {
+                        let cfg = TrainConfig::builder()
+                            .n_trees(spec.trees)
+                            .n_layers(spec.layers)
+                            .n_bins(spec.n_bins)
+                            .threads(threads)
+                            .wire(wire)
+                            .storage(storage)
+                            .kernel(kernel)
+                            .build()
+                            .unwrap();
+                        let mut wall = f64::INFINITY;
+                        let mut best_cal = f64::INFINITY;
+                        let mut result = None;
+                        for _ in 0..spec.reps {
+                            best_cal = best_cal.min(probe_once());
+                            let start = Instant::now();
+                            let r = system.run(&cluster, &ds, &cfg);
+                            wall = wall.min(start.elapsed().as_secs_f64());
+                            if wire.is_lossless() {
+                                let model = reference.get_or_insert_with(|| r.model.clone());
+                                assert_eq!(
+                                    *model,
+                                    r.model,
+                                    "{} trained a different ensemble in cell {}/{}/t{threads}/{}",
+                                    system.name(),
+                                    storage.label(),
+                                    wire.label(),
+                                    kernel.label(),
+                                );
+                            }
+                            result = Some(r);
+                        }
+                        let result = result.expect("reps >= 1 is validated at parse time");
+                        cells.push(json!({
+                            "system": system.name(),
+                            "storage": storage.label(),
+                            "wire": wire.label(),
+                            "threads": threads,
+                            "kernel": kernel.label(),
+                            "trees_per_sec": spec.trees as f64 / wall,
+                            "wall_s": wall,
+                            "wall_rel": wall / best_cal,
+                            "peak_histogram_bytes": result.stats.max_histogram_bytes(),
+                            "storage_bytes": result.stats.max_data_bytes(),
+                        }));
+                    }
+                }
+            }
+        }
+    }
+    let mut report = json!({
+        "benchmark": spec.name,
+        "dataset": {
+            "n_instances": ds.n_instances(),
+            "n_features": ds.n_features(),
+            "n_classes": spec.dataset.n_classes,
+            "density": spec.dataset.density,
+            "seed": spec.dataset.seed,
+            "n_bins": spec.n_bins,
+            "trees": spec.trees,
+            "layers": spec.layers,
+            "workers": spec.workers,
+        },
+        "cells": cells,
+    });
+    if spec.kernel_microbench {
+        let bench = kernel_microbench(&ds, spec.n_bins);
+        if let Value::Object(map) = &mut report {
+            map.insert("kernels".to_string(), bench);
+        }
+    }
+    report
+}
+
+/// One burst of the machine-speed probe: wall time of a fixed integer
+/// workload (a serial Lehmer-style multiply chain — pure core speed, no
+/// memory traffic, and no code shared with anything the grid measures,
+/// so a real kernel regression can never hide inside it).
+///
+/// [`run_grid`] and the kernel microbench interleave probe bursts with
+/// their timing reps and record `min(measured) / min(probe)` as the
+/// `*_rel` metric next to the raw seconds. Because the probes sample the
+/// same span of machine states the measurement mins are drawn from, a
+/// shared-vCPU steal window, turbo drift, or a differently-provisioned
+/// CI runner slows both mins by the same factor and cancels out of the
+/// ratio, while a genuine code regression moves only the numerator.
+/// (Min-of-ratios would be wrong: one stalled probe burst next to a quiet
+/// measurement makes a downward outlier the min then locks onto; both
+/// mins separately are bounded below by the true quiet-machine times.)
+/// [`compare_reports`] gates on the `*_rel` metrics whenever both reports
+/// carry them.
+fn probe_once() -> f64 {
+    let start = Instant::now();
+    let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+    let mut acc = 0u64;
+    for _ in 0..2_000_000 {
+        x = x.wrapping_mul(0xd134_2543_de82_ef95).wrapping_add(0x2545_f491_4f6c_dd1d);
+        acc = acc.wrapping_add(x >> 33);
+    }
+    std::hint::black_box(acc);
+    start.elapsed().as_secs_f64()
+}
+
+/// Times the raw `C = 1` fill kernels on the grid dataset: the sparse pair
+/// walk and the dense scan under every (width × kernel) combination.
+/// Best-of-N wall time per fill, deterministic gradients.
+fn kernel_microbench(ds: &Dataset, n_bins: usize) -> Value {
+    let sparse = BinCuts::from_dataset(ds, n_bins).apply(ds);
+    let (n, d) = (sparse.n_rows(), sparse.n_features());
+    let dense_u8 = DenseBinnedRows::from_sparse_with_width(&sparse, n_bins, BinWidth::U8);
+    let dense_u16 = DenseBinnedRows::from_sparse_with_width(&sparse, n_bins, BinWidth::U16);
+    let mut grads = GradBuffer::new(n, 1);
+    for i in 0..n {
+        grads.set(i, 0, (i % 97) as f64 * 0.01 - 0.5, 1.0);
+    }
+    let chunk: Vec<u32> = (0..n as u32).collect();
+    // Fills run well under a millisecond, so co-tenant memory-pressure
+    // bursts can inflate any one sample badly; 100 reps ≈ 100 ms per
+    // kernel keeps the best-of min inside a quiet window.
+    let reps = 100;
+    let time = |fill: &mut dyn FnMut(&mut NodeHistogram)| -> (f64, f64) {
+        let mut best = f64::INFINITY;
+        let mut best_cal = f64::INFINITY;
+        for rep in 0..reps {
+            let mut hist = NodeHistogram::new(d, n_bins, 1);
+            // A probe burst costs ~10× one fill, so interleave sparsely:
+            // the probes only need to sample the same machine-state window
+            // the fill mins are drawn from, not every rep.
+            if rep % 10 == 0 {
+                best_cal = best_cal.min(probe_once());
+            }
+            let start = Instant::now();
+            fill(&mut hist);
+            best = best.min(start.elapsed().as_secs_f64());
+            std::hint::black_box(&hist);
+        }
+        (best, best / best_cal)
+    };
+    let t_sparse = time(&mut |h| fill_sparse_rows(h, &chunk, &sparse, &grads));
+    let t_scalar_u8 = time(&mut |h| fill_dense_rows(h, &chunk, &dense_u8, &grads, Kernel::Scalar));
+    let t_simd_u8 = time(&mut |h| fill_dense_rows(h, &chunk, &dense_u8, &grads, Kernel::Simd));
+    let t_scalar_u16 =
+        time(&mut |h| fill_dense_rows(h, &chunk, &dense_u16, &grads, Kernel::Scalar));
+    let t_simd_u16 = time(&mut |h| fill_dense_rows(h, &chunk, &dense_u16, &grads, Kernel::Simd));
+    json!({
+        "sparse_fill_s": t_sparse.0,
+        "dense_scalar_u8_s": t_scalar_u8.0,
+        "dense_simd_u8_s": t_simd_u8.0,
+        "dense_scalar_u16_s": t_scalar_u16.0,
+        "dense_simd_u16_s": t_simd_u16.0,
+        "sparse_fill_rel": t_sparse.1,
+        "dense_scalar_u8_rel": t_scalar_u8.1,
+        "dense_simd_u8_rel": t_simd_u8.1,
+        "dense_scalar_u16_rel": t_scalar_u16.1,
+        "dense_simd_u16_rel": t_simd_u16.1,
+        "simd_vs_scalar_u8": t_scalar_u8.0 / t_simd_u8.0,
+        "simd_vs_scalar_u16": t_scalar_u16.0 / t_simd_u16.0,
+        "simd_vs_sparse_u8": t_sparse.0 / t_simd_u8.0,
+        "scalar_vs_sparse_u8": t_sparse.0 / t_scalar_u8.0,
+    })
+}
+
+/// One indexed metric: the raw value oriented so bigger is better
+/// (`trees_per_sec` as-is, timings negated) plus its machine-relative
+/// twin (`*_rel`, negated — it's a time in probe units) when the report
+/// recorded one.
+#[derive(Debug, Clone, Copy)]
+struct Metric {
+    value: f64,
+    rel: Option<f64>,
+}
+
+/// One report's comparable numbers, keyed deterministically.
+fn index_report(report: &Value) -> Result<BTreeMap<String, Metric>, String> {
+    let mut out = BTreeMap::new();
+    let cells = report
+        .get("cells")
+        .and_then(Value::as_array)
+        .ok_or("report has no 'cells' array")?;
+    for cell in cells {
+        let key = format!(
+            "cell {}/{}/{}/t{}/{}",
+            cell.get("system").and_then(Value::as_str).ok_or("cell missing 'system'")?,
+            cell.get("storage").and_then(Value::as_str).unwrap_or("?"),
+            cell.get("wire").and_then(Value::as_str).unwrap_or("?"),
+            cell.get("threads").and_then(Value::as_u64).unwrap_or(0),
+            cell.get("kernel").and_then(Value::as_str).unwrap_or("?"),
+        );
+        let tps = cell
+            .get("trees_per_sec")
+            .and_then(Value::as_f64)
+            .ok_or(format!("{key} missing 'trees_per_sec'"))?;
+        let rel = cell.get("wall_rel").and_then(Value::as_f64).filter(|r| *r > 0.0);
+        out.insert(key, Metric { value: tps, rel: rel.map(|r| -r) });
+    }
+    if let Some(kernels) = report.get("kernels").and_then(Value::as_object) {
+        for (name, v) in kernels.iter() {
+            // Only the raw timings gate (lower is better); derived ratios
+            // are informational. Negate so "bigger is better" holds for
+            // every indexed metric.
+            if let Some(stem) = name.strip_suffix("_s") {
+                let t = v.as_f64().ok_or(format!("kernel metric '{name}' is not a number"))?;
+                let rel = kernels
+                    .get(&format!("{stem}_rel"))
+                    .and_then(Value::as_f64)
+                    .filter(|r| *r > 0.0);
+                out.insert(format!("kernel {name}"), Metric { value: -t, rel: rel.map(|r| -r) });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The outcome of a baseline-vs-candidate comparison.
+#[derive(Debug)]
+pub struct Comparison {
+    /// Metrics present in both reports.
+    pub compared: usize,
+    /// Human-readable description of every metric that regressed by more
+    /// than the tolerance. Empty means the gate passes.
+    pub regressions: Vec<String>,
+}
+
+/// Compares a candidate trajectory against the checked-in baseline.
+/// A metric regresses when it is worse than `tolerance` fraction below
+/// the baseline (`trees_per_sec` lower / kernel fill time higher). When
+/// both sides of a metric carry its machine-relative `*_rel` twin (time
+/// in units of the adjacent [`probe_once`] burst), the gate compares
+/// those instead of raw seconds, so a slower machine — or a steal window
+/// on a shared vCPU — doesn't read as a code regression; a metric probed
+/// on only one side falls back to raw seconds rather than being skewed.
+/// Errors when the reports share no metric at all — a silent no-op gate
+/// is worse than a loud mismatch.
+pub fn compare_reports(
+    baseline: &Value,
+    candidate: &Value,
+    tolerance: f64,
+) -> Result<Comparison, String> {
+    let base = index_report(baseline)?;
+    let cand = index_report(candidate)?;
+    let mut compared = 0;
+    let mut regressions = Vec::new();
+    for (key, base_m) in &base {
+        let Some(cand_m) = cand.get(key) else { continue };
+        compared += 1;
+        let (base_v, cand_v) = match (base_m.rel, cand_m.rel) {
+            (Some(b), Some(c)) => (b, c),
+            _ => (base_m.value, cand_m.value),
+        };
+        // Values are oriented so bigger is better (timings are negated),
+        // so the allowed slack is always `tolerance` of the magnitude
+        // *below* the baseline regardless of sign.
+        if cand_v < base_v - tolerance * base_v.abs() {
+            let (b, c) = (base_v.abs(), cand_v.abs());
+            let pct = (c / b - 1.0) * 100.0;
+            regressions.push(format!("{key}: {c:.4} vs baseline {b:.4} ({pct:+.1}%)"));
+        }
+    }
+    if compared == 0 {
+        return Err("baseline and candidate share no comparable metric".into());
+    }
+    Ok(Comparison { compared, regressions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"{
+        "name": "unit",
+        "dataset": {"n_instances": 300, "n_features": 8, "n_classes": 2, "density": 1.0, "seed": 5},
+        "trees": 2, "layers": 3, "workers": 2,
+        "systems": ["LightGBM", "Vero"],
+        "storage": ["sparse", "dense"],
+        "kernels": ["simd", "scalar"],
+        "kernel_microbench": true,
+        "reps": 2
+    }"#;
+
+    #[test]
+    fn spec_parses_with_defaults() {
+        let spec = GridSpec::from_json(SPEC).unwrap();
+        assert_eq!(spec.name, "unit");
+        assert_eq!(spec.dataset.n_instances, 300);
+        assert_eq!(spec.n_bins, 20);
+        assert_eq!(spec.systems, vec![System::LightGbmLike, System::Vero]);
+        assert_eq!(spec.storage, vec![Storage::Sparse, Storage::Dense]);
+        assert_eq!(spec.wire, vec![WireCodec::Dense]); // defaulted axis
+        assert_eq!(spec.threads, vec![0]); // defaulted axis
+        assert_eq!(spec.kernels, vec![Kernel::Simd, Kernel::Scalar]);
+        assert_eq!(spec.n_cells(), 8);
+        assert!(spec.kernel_microbench);
+        assert_eq!(spec.reps, 2);
+        let defaulted = SPEC.replace(r#""reps": 2"#, r#""reps": 3"#); // explicit value honored
+        assert_eq!(GridSpec::from_json(&defaulted).unwrap().reps, 3);
+        let omitted = SPEC.replace(r#""reps": 2"#, r#""n_bins": 20"#); // key gone → default
+        assert_eq!(GridSpec::from_json(&omitted).unwrap().reps, 3);
+        assert!(GridSpec::from_json(&SPEC.replace(r#""reps": 2"#, r#""reps": 0"#))
+            .unwrap_err()
+            .contains("reps"));
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        assert!(GridSpec::from_json("{").is_err());
+        assert!(GridSpec::from_json(r#"{"name": "x"}"#).is_err());
+        let bad_system = SPEC.replace("\"Vero\"", "\"CatBoost\"");
+        assert!(GridSpec::from_json(&bad_system).unwrap_err().contains("unknown system"));
+        let bad_kernel = SPEC.replace("\"scalar\"", "\"avx512\"");
+        assert!(GridSpec::from_json(&bad_kernel).unwrap_err().contains("unknown kernel"));
+    }
+
+    #[test]
+    fn grid_runs_every_cell_and_stays_bit_identical() {
+        let spec = GridSpec::from_json(SPEC).unwrap();
+        let report = run_grid(&spec);
+        let cells = report.get("cells").and_then(Value::as_array).unwrap();
+        assert_eq!(cells.len(), spec.n_cells());
+        let kernels = report.get("kernels").and_then(Value::as_object).unwrap();
+        assert!(kernels.get("dense_simd_u8_s").unwrap().as_f64().unwrap() > 0.0);
+        // The gate passes when a report is compared against itself.
+        let cmp = compare_reports(&report, &report, 0.10).unwrap();
+        assert!(cmp.compared >= spec.n_cells());
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+    }
+
+    /// A hand-built report so comparison semantics are tested without
+    /// training anything.
+    fn tiny_report(tps: f64, kernel_s: f64) -> Value {
+        json!({
+            "benchmark": "unit",
+            "cells": [{
+                "system": "LightGBM", "storage": "dense", "wire": "dense",
+                "threads": 1, "kernel": "simd",
+                "trees_per_sec": tps, "wall_s": 1.0,
+            }],
+            "kernels": {"dense_simd_u8_s": kernel_s, "simd_vs_scalar_u8": 2.0},
+        })
+    }
+
+    /// [`tiny_report`] plus machine-relative twins: `wall_rel` on the one
+    /// cell and `dense_simd_u8_rel` next to the kernel timing.
+    fn tiny_report_rel(tps: f64, kernel_s: f64, wall_rel: f64, kernel_rel: f64) -> Value {
+        json!({
+            "benchmark": "unit",
+            "cells": [{
+                "system": "LightGBM", "storage": "dense", "wire": "dense",
+                "threads": 1, "kernel": "simd",
+                "trees_per_sec": tps, "wall_s": 1.0, "wall_rel": wall_rel,
+            }],
+            "kernels": {
+                "dense_simd_u8_s": kernel_s,
+                "dense_simd_u8_rel": kernel_rel,
+                "simd_vs_scalar_u8": 2.0,
+            },
+        })
+    }
+
+    #[test]
+    fn compare_fails_on_synthetic_slowdown() {
+        let baseline = tiny_report(10.0, 0.010);
+        // 20% fewer trees/sec AND a 30% slower kernel: both gate.
+        let slower = tiny_report(8.0, 0.013);
+        let cmp = compare_reports(&baseline, &slower, 0.10).unwrap();
+        assert_eq!(cmp.compared, 2);
+        assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
+        assert!(cmp.regressions[0].contains("cell LightGBM/dense/dense/t1/simd"));
+        assert!(cmp.regressions[1].contains("kernel dense_simd_u8_s"));
+    }
+
+    #[test]
+    fn compare_tolerates_small_noise_and_improvements() {
+        let baseline = tiny_report(10.0, 0.010);
+        let ok = compare_reports(&baseline, &tiny_report(9.5, 0.0104), 0.10).unwrap();
+        assert!(ok.regressions.is_empty(), "{:?}", ok.regressions);
+        let faster = compare_reports(&baseline, &tiny_report(14.0, 0.006), 0.10).unwrap();
+        assert!(faster.regressions.is_empty());
+    }
+
+    #[test]
+    fn relative_metrics_cancel_machine_slowdown() {
+        // Candidate ran on a 2× slower machine: every raw timing doubles
+        // (trees/sec halves), but the per-rep probe doubled with them so
+        // the machine-relative twins are unchanged — no regression.
+        let baseline = tiny_report_rel(10.0, 0.010, 20.0, 2.0);
+        let slow_machine = tiny_report_rel(5.0, 0.020, 20.0, 2.0);
+        let cmp = compare_reports(&baseline, &slow_machine, 0.10).unwrap();
+        assert_eq!(cmp.compared, 2);
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn relative_metrics_still_catch_code_regressions() {
+        // Same machine speed, but the code got slower: the relative twins
+        // move with the raw timings (+25% training, +30% kernel) and gate.
+        let baseline = tiny_report_rel(10.0, 0.010, 20.0, 2.0);
+        let regressed = tiny_report_rel(8.0, 0.013, 25.0, 2.6);
+        let cmp = compare_reports(&baseline, &regressed, 0.10).unwrap();
+        assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn relative_metrics_require_both_sides() {
+        // Relative twins on one side only: fall back to raw seconds, so a
+        // 2× slower candidate regresses rather than being silently
+        // "corrected" against nothing.
+        let baseline = tiny_report_rel(10.0, 0.010, 20.0, 2.0);
+        let slower = tiny_report(5.0, 0.020);
+        let cmp = compare_reports(&baseline, &slower, 0.10).unwrap();
+        assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn compare_errors_on_disjoint_reports() {
+        let baseline = tiny_report(10.0, 0.010);
+        let mut other = tiny_report(10.0, 0.010);
+        if let Value::Object(map) = &mut other {
+            map.insert("cells".into(), json!([]));
+            map.insert("kernels".into(), json!({}));
+        }
+        assert!(compare_reports(&baseline, &other, 0.10).is_err());
+    }
+}

@@ -20,5 +20,6 @@
 pub mod args;
 pub mod datasets;
 pub mod endtoend;
+pub mod grid;
 pub mod output;
 pub mod systems;

@@ -34,6 +34,23 @@ pub enum System {
 }
 
 impl System {
+    /// Every runnable system, in registry order.
+    pub const ALL: [System; 8] = [
+        System::XgboostLike,
+        System::LightGbmLike,
+        System::DimBoostLike,
+        System::Qd2AllReduce,
+        System::Qd3,
+        System::Vero,
+        System::Yggdrasil,
+        System::LightGbmFeatureParallel,
+    ];
+
+    /// Inverse of [`System::name`], for grid-spec parsing.
+    pub fn from_name(name: &str) -> Option<System> {
+        System::ALL.into_iter().find(|s| s.name() == name)
+    }
+
     /// Display name used in tables (paper naming).
     pub fn name(&self) -> &'static str {
         match self {
@@ -101,6 +118,14 @@ mod tests {
         assert_eq!(System::XgboostLike.name(), "XGBoost");
         assert!(!System::DimBoostLike.supports_multiclass());
         assert!(System::Vero.supports_multiclass());
+    }
+
+    #[test]
+    fn from_name_round_trips() {
+        for system in System::ALL {
+            assert_eq!(System::from_name(system.name()), Some(system));
+        }
+        assert_eq!(System::from_name("CatBoost"), None);
     }
 
     #[test]

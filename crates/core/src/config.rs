@@ -84,11 +84,16 @@ pub enum Storage {
     Sparse,
     /// Always the dense cell layout (u8 cells when `q ≤ 255`, else u16).
     Dense,
+    /// Always the dense cell layout with u16 cells, even when `q` fits u8.
+    /// Same bits out of training as every other policy; exists so the u16
+    /// kernels can be driven (and perf-compared) on small-`q` datasets.
+    DenseWide,
 }
 
 impl Storage {
     /// All policies, in display order.
-    pub const ALL: [Storage; 3] = [Storage::Auto, Storage::Sparse, Storage::Dense];
+    pub const ALL: [Storage; 4] =
+        [Storage::Auto, Storage::Sparse, Storage::Dense, Storage::DenseWide];
 
     /// Short label for reports and CLI echo.
     pub fn label(self) -> &'static str {
@@ -96,6 +101,7 @@ impl Storage {
             Storage::Auto => "auto",
             Storage::Sparse => "sparse",
             Storage::Dense => "dense",
+            Storage::DenseWide => "dense-u16",
         }
     }
 
@@ -111,6 +117,7 @@ impl Storage {
         match self {
             Storage::Sparse => BinnedStore::sparse(rows),
             Storage::Dense => BinnedStore::dense(rows, n_bins),
+            Storage::DenseWide => BinnedStore::dense_wide(rows, n_bins),
             Storage::Auto => {
                 BinnedStore::auto(rows, n_bins, gbdt_data::DEFAULT_DENSE_THRESHOLD)
             }
@@ -126,12 +133,65 @@ impl std::str::FromStr for Storage {
             "auto" => Ok(Storage::Auto),
             "sparse" => Ok(Storage::Sparse),
             "dense" => Ok(Storage::Dense),
-            other => Err(format!("unknown storage '{other}' (expected auto|sparse|dense)")),
+            "dense-u16" => Ok(Storage::DenseWide),
+            other => {
+                Err(format!("unknown storage '{other}' (expected auto|sparse|dense|dense-u16)"))
+            }
         }
     }
 }
 
 impl std::fmt::Display for Storage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Histogram fill-kernel selection for the dense storage layout.
+///
+/// `Simd` (the default) scans packed cells in fixed-width lane groups
+/// with unchecked accumulates whose bounds come from a per-group vector
+/// range check (see `gbdt_core::kernels::simd`); `Scalar` is the PR-4
+/// reference loop. Both visit values in the same ascending order, so the
+/// trained ensemble is **bit-identical** either way — this knob trades
+/// only scan throughput, and exists so the perf harness can measure the
+/// SIMD speedup and tests can cross-check the two implementations.
+/// Sparse storage has a single kernel and ignores this knob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Lane-group SIMD fills (u8×16 / u16×8 classify, f64×4 accumulate).
+    #[default]
+    Simd,
+    /// The scalar reference fills.
+    Scalar,
+}
+
+impl Kernel {
+    /// All kernels, in display order.
+    pub const ALL: [Kernel; 2] = [Kernel::Simd, Kernel::Scalar];
+
+    /// Short label for reports and CLI echo.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kernel::Simd => "simd",
+            Kernel::Scalar => "scalar",
+        }
+    }
+}
+
+impl std::str::FromStr for Kernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "simd" => Ok(Kernel::Simd),
+            "scalar" => Ok(Kernel::Scalar),
+            other => Err(format!("unknown kernel '{other}' (expected simd|scalar)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Kernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
@@ -175,6 +235,9 @@ pub struct TrainConfig {
     /// ensemble; `Auto` densifies when the binned matrix is dense enough
     /// for the cell layout to win on bytes and scan speed.
     pub storage: Storage,
+    /// Dense histogram fill kernel (SIMD lane groups vs the scalar
+    /// reference). Bit-identical ensembles either way; speed only.
+    pub kernel: Kernel,
 }
 
 impl Default for TrainConfig {
@@ -192,6 +255,7 @@ impl Default for TrainConfig {
             threads: 0,
             wire: WireCodec::Dense,
             storage: Storage::Auto,
+            kernel: Kernel::Simd,
         }
     }
 }
@@ -312,6 +376,13 @@ impl TrainConfigBuilder {
         self
     }
 
+    /// Sets the dense histogram fill kernel (default [`Kernel::Simd`];
+    /// results are bit-identical for every value).
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.cfg.kernel = kernel;
+        self
+    }
+
     /// Finalizes, validating all parameters.
     pub fn build(self) -> Result<TrainConfig, String> {
         self.cfg.validate()?;
@@ -410,8 +481,32 @@ mod tests {
         };
         assert!(!Storage::Sparse.bin_store(rows(), 2).is_dense());
         assert!(Storage::Dense.bin_store(rows(), 2).is_dense());
+        assert!(Storage::DenseWide.bin_store(rows(), 2).is_dense());
+        // DenseWide forces u16 cells even though 2 bins fit u8.
+        assert_eq!(Storage::DenseWide.bin_store(rows(), 2).label(), "dense-u16");
+        assert_eq!(Storage::Dense.bin_store(rows(), 2).label(), "dense-u8");
         // Fully dense data crosses the auto threshold.
         assert!(Storage::Auto.bin_store(rows(), 2).is_dense());
+    }
+
+    #[test]
+    fn default_kernel_is_simd() {
+        assert_eq!(TrainConfig::default().kernel, Kernel::Simd);
+    }
+
+    #[test]
+    fn kernel_parses_cli_names() {
+        for kernel in Kernel::ALL {
+            assert_eq!(kernel.label().parse::<Kernel>().unwrap(), kernel);
+            assert_eq!(format!("{kernel}"), kernel.label());
+        }
+        assert!("avx512".parse::<Kernel>().is_err());
+    }
+
+    #[test]
+    fn builder_sets_kernel() {
+        let cfg = TrainConfig::builder().kernel(Kernel::Scalar).build().unwrap();
+        assert_eq!(cfg.kernel, Kernel::Scalar);
     }
 
     #[test]

@@ -84,6 +84,15 @@ impl GradBuffer {
         (&self.grads[lo..hi], &self.hesses[lo..hi])
     }
 
+    /// The `(g, h)` pair of one instance when `C == 1` — two direct loads,
+    /// no slice headers. The C = 1 fill kernels read one pair per row; this
+    /// keeps that read out of the per-row prologue cost.
+    #[inline(always)]
+    pub fn pair1(&self, instance: usize) -> (f64, f64) {
+        debug_assert_eq!(self.n_outputs, 1, "pair1 requires C == 1");
+        (self.grads[instance], self.hesses[instance])
+    }
+
     /// Sum of all pairs of the given instances, per class, appended into
     /// `grad_out` / `hess_out` (each of length C).
     pub fn sum_instances(&self, instances: &[u32], grad_out: &mut [f64], hess_out: &mut [f64]) {

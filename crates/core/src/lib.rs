@@ -22,8 +22,9 @@
 //! * [`parallel`] — deterministic intra-worker multi-core execution
 //!   (chunked histogram map-reduce, feature-fanned split finding).
 //! * [`kernels`] — storage-specialized histogram-build kernels (dense row
-//!   and column scans, `C = 1` fast path) that are bit-identical to the
-//!   sparse pair walk.
+//!   and column scans, `C = 1` fast path, explicit SIMD lane fills in the
+//!   one audited `kernels::simd` unsafe module) that are bit-identical to
+//!   the sparse pair walk.
 
 pub mod binning;
 pub mod config;
@@ -40,7 +41,7 @@ pub mod split;
 pub mod tree;
 
 pub use binning::BinCuts;
-pub use config::{Storage, TrainConfig, WireCodec};
+pub use config::{Kernel, Storage, TrainConfig, WireCodec};
 pub use gradients::{GradBuffer, GradPair};
 pub use histogram::NodeHistogram;
 pub use loss::Objective;

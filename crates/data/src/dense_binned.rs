@@ -117,6 +117,26 @@ impl BinPack {
         }
     }
 
+    /// The raw u8 cell slice, if packed at that width — the lane accessor
+    /// the SIMD kernels and benches use to load 16-cell groups directly.
+    #[inline]
+    pub fn as_u8(&self) -> Option<&[u8]> {
+        match self {
+            BinPack::U8(c) => Some(c),
+            BinPack::U16(_) => None,
+        }
+    }
+
+    /// The raw u16 cell slice, if packed at that width (8-cell lane
+    /// groups).
+    #[inline]
+    pub fn as_u16(&self) -> Option<&[u16]> {
+        match self {
+            BinPack::U16(c) => Some(c),
+            BinPack::U8(_) => None,
+        }
+    }
+
     fn heap_bytes(&self) -> usize {
         match self {
             BinPack::U8(c) => c.len(),
@@ -471,6 +491,12 @@ impl BinnedStore {
     /// Densifies unconditionally.
     pub fn dense(rows: BinnedRows, n_bins: usize) -> BinnedStore {
         BinnedStore::Dense(DenseBinnedRows::from_sparse(&rows, n_bins))
+    }
+
+    /// Densifies unconditionally with u16 cells, even when `n_bins` fits
+    /// u8 — drives the u16 kernels on small-`q` data (`Storage::DenseWide`).
+    pub fn dense_wide(rows: BinnedRows, n_bins: usize) -> BinnedStore {
+        BinnedStore::Dense(DenseBinnedRows::from_sparse_with_width(&rows, n_bins, BinWidth::U16))
     }
 
     /// Picks dense when the stored-value density reaches `threshold`

@@ -134,7 +134,7 @@ fn train_worker(
 
             ctx.time(Phase::HistogramBuild, || {
                 if layer == 0 {
-                    build_histogram(&mut pool, 0, &local, &grads, &index, threads, &meter);
+                    build_histogram(&mut pool, 0, &local, &grads, &index, threads, config.kernel, &meter);
                 } else {
                     let mut k = 0;
                     while k < frontier.nodes.len() {
@@ -142,7 +142,7 @@ fn train_worker(
                         let (build_left, _) =
                             subtraction_plan(frontier.counts[&l], frontier.counts[&r]);
                         let (b, s) = if build_left { (l, r) } else { (r, l) };
-                        build_histogram(&mut pool, b, &local, &grads, &index, threads, &meter);
+                        build_histogram(&mut pool, b, &local, &grads, &index, threads, config.kernel, &meter);
                         pool.subtract_sibling(tree::parent(l), b, s);
                         k += 2;
                     }
@@ -234,6 +234,7 @@ fn train_worker(
     Ok((model, per_tree))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_histogram(
     pool: &mut HistogramPool,
     node: u32,
@@ -241,10 +242,11 @@ fn build_histogram(
     grads: &GradBuffer,
     index: &NodeToInstanceIndex,
     threads: usize,
+    kernel: gbdt_core::Kernel,
     meter: &Meter,
 ) {
     parallel::build_histogram_chunked(pool, node, index.instances(node), threads, meter, |hist, chunk| {
-        gbdt_core::kernels::fill_rows_chunk(hist, chunk, local, grads);
+        gbdt_core::kernels::fill_rows_chunk(hist, chunk, local, grads, kernel);
     });
 }
 

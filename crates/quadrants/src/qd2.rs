@@ -164,7 +164,7 @@ fn train_worker(
             }
             ctx.time(Phase::HistogramBuild, || {
                 for &node in &build_nodes {
-                    build_histogram(&mut pool, node, &binned, &grads, &index, threads, &meter);
+                    build_histogram(&mut pool, node, &binned, &grads, &index, threads, config.kernel, &meter);
                 }
             });
 
@@ -376,6 +376,7 @@ pub(crate) fn exchange_local_bests(
         .collect())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_histogram(
     pool: &mut HistogramPool,
     node: u32,
@@ -383,10 +384,11 @@ fn build_histogram(
     grads: &GradBuffer,
     index: &NodeToInstanceIndex,
     threads: usize,
+    kernel: gbdt_core::Kernel,
     meter: &Meter,
 ) {
     parallel::build_histogram_chunked(pool, node, index.instances(node), threads, meter, |hist, chunk| {
-        kernels::fill_rows_chunk(hist, chunk, binned, grads);
+        kernels::fill_rows_chunk(hist, chunk, binned, grads, kernel);
     });
 }
 

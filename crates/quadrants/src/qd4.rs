@@ -123,7 +123,7 @@ pub(crate) fn train_worker_with_options(
     let local_rows: LocalRows = ctx.time(Phase::Transform, || {
         let use_dense = match config.storage {
             Storage::Sparse => false,
-            Storage::Dense => true,
+            Storage::Dense | Storage::DenseWide => true,
             Storage::Auto => match n.checked_mul(p_local) {
                 Some(cells) if cells > 0 => {
                     local_data.nnz() as f64 / cells as f64 >= DEFAULT_DENSE_THRESHOLD
@@ -132,7 +132,12 @@ pub(crate) fn train_worker_with_options(
             },
         };
         if use_dense {
-            LocalRows::Dense(DenseBinnedRows::from_sparse(&local_data.to_binned_rows(), q))
+            let rows = local_data.to_binned_rows();
+            let width = match config.storage {
+                Storage::DenseWide => gbdt_data::dense_binned::BinWidth::U16,
+                _ => gbdt_data::dense_binned::BinWidth::for_bins(q),
+            };
+            LocalRows::Dense(DenseBinnedRows::from_sparse_with_width(&rows, q, width))
         } else {
             LocalRows::Blocked(local_data)
         }
@@ -196,7 +201,7 @@ pub(crate) fn train_worker_with_options(
             // Histogram construction with subtraction, over local features.
             ctx.time(Phase::HistogramBuild, || {
                 if layer == 0 {
-                    build_histogram(&mut pool, 0, &local_rows, &grads, &index, threads, &meter);
+                    build_histogram(&mut pool, 0, &local_rows, &grads, &index, threads, config.kernel, &meter);
                 } else if options.use_subtraction {
                     let mut k = 0;
                     while k < frontier.nodes.len() {
@@ -204,7 +209,7 @@ pub(crate) fn train_worker_with_options(
                         let (build_left, _) =
                             subtraction_plan(frontier.counts[&l], frontier.counts[&r]);
                         let (b, s) = if build_left { (l, r) } else { (r, l) };
-                        build_histogram(&mut pool, b, &local_rows, &grads, &index, threads, &meter);
+                        build_histogram(&mut pool, b, &local_rows, &grads, &index, threads, config.kernel, &meter);
                         pool.subtract_sibling(tree::parent(l), b, s);
                         k += 2;
                     }
@@ -213,7 +218,14 @@ pub(crate) fn train_worker_with_options(
                     // their instances; parent histograms are dropped.
                     for &node in &frontier.nodes {
                         build_histogram(
-                            &mut pool, node, &local_rows, &grads, &index, threads, &meter,
+                            &mut pool,
+                            node,
+                            &local_rows,
+                            &grads,
+                            &index,
+                            threads,
+                            config.kernel,
+                            &meter,
                         );
                         let p = tree::parent(node);
                         pool.release(p);
@@ -375,6 +387,7 @@ fn placement_bitmap(
     bm
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_histogram(
     pool: &mut HistogramPool,
     node: u32,
@@ -382,11 +395,14 @@ fn build_histogram(
     grads: &GradBuffer,
     index: &NodeToInstanceIndex,
     threads: usize,
+    kernel: gbdt_core::Kernel,
     meter: &Meter,
 ) {
     parallel::build_histogram_chunked(pool, node, index.instances(node), threads, meter, |hist, chunk| {
         match local_rows {
-            LocalRows::Dense(dense) => gbdt_core::kernels::fill_dense_rows(hist, chunk, dense, grads),
+            LocalRows::Dense(dense) => {
+                gbdt_core::kernels::fill_dense_rows(hist, chunk, dense, grads, kernel)
+            }
             LocalRows::Blocked(blocked) => {
                 for &i in chunk {
                     let (g, h) = grads.instance(i as usize);

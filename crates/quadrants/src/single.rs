@@ -88,7 +88,7 @@ pub fn train_prebinned(
             // Build histograms: root directly; deeper layers build the
             // smaller sibling and subtract for the other.
             if layer == 0 {
-                build_histogram(&mut pool, 0, binned, &grads, &index, threads, &meter);
+                build_histogram(&mut pool, 0, binned, &grads, &index, threads, config.kernel, &meter);
             } else {
                 let mut k = 0;
                 while k < frontier.nodes.len() {
@@ -98,7 +98,7 @@ pub fn train_prebinned(
                     let (build_left, _) =
                         subtraction_plan(frontier.counts[&left], frontier.counts[&right]);
                     let (build, derive) = if build_left { (left, right) } else { (right, left) };
-                    build_histogram(&mut pool, build, binned, &grads, &index, threads, &meter);
+                    build_histogram(&mut pool, build, binned, &grads, &index, threads, config.kernel, &meter);
                     pool.subtract_sibling(tree::parent(left), build, derive);
                     k += 2;
                 }
@@ -163,6 +163,7 @@ pub fn train_prebinned(
     model
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_histogram(
     pool: &mut HistogramPool,
     node: u32,
@@ -170,10 +171,11 @@ fn build_histogram(
     grads: &GradBuffer,
     index: &NodeToInstanceIndex,
     threads: usize,
+    kernel: gbdt_core::Kernel,
     meter: &Meter,
 ) {
     parallel::build_histogram_chunked(pool, node, index.instances(node), threads, meter, |hist, chunk| {
-        kernels::fill_rows_chunk(hist, chunk, binned, grads);
+        kernels::fill_rows_chunk(hist, chunk, binned, grads, kernel);
     });
 }
 

@@ -1,7 +1,7 @@
 //! Vero system configuration.
 
 use gbdt_cluster::{FaultPlan, NetworkCostModel};
-use gbdt_core::{Objective, Storage, TrainConfig, WireCodec};
+use gbdt_core::{Kernel, Objective, Storage, TrainConfig, WireCodec};
 use gbdt_partition::transform::{TransformConfig, WireEncoding};
 use gbdt_partition::GroupingStrategy;
 
@@ -125,6 +125,13 @@ impl VeroConfigBuilder {
         self
     }
 
+    /// Sets the dense histogram fill kernel (default: SIMD lane groups).
+    /// Every choice trains the identical ensemble; only scan speed changes.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.cfg.train.kernel = kernel;
+        self
+    }
+
     /// Sets the column grouping strategy (default: greedy balanced).
     pub fn grouping(mut self, strategy: GroupingStrategy) -> Self {
         self.cfg.transform.strategy = strategy;
@@ -192,6 +199,13 @@ mod tests {
         let cfg = VeroConfig::builder().storage(Storage::Dense).build().unwrap();
         assert_eq!(cfg.train.storage, Storage::Dense);
         assert_eq!(VeroConfig::builder().build().unwrap().train.storage, Storage::Auto);
+    }
+
+    #[test]
+    fn kernel_flows_into_train_config() {
+        let cfg = VeroConfig::builder().kernel(Kernel::Scalar).build().unwrap();
+        assert_eq!(cfg.train.kernel, Kernel::Scalar);
+        assert_eq!(VeroConfig::builder().build().unwrap().train.kernel, Kernel::Simd);
     }
 
     #[test]

@@ -7,12 +7,19 @@
 //! order-sensitive map sites were swapped to `BTreeMap` (see DESIGN.md
 //! item 10); the swap must not move a single bit, and any future change that
 //! alters a fingerprint is altering trained models and must be deliberate.
+//!
+//! The sweep test extends the same pins across every `--storage` layout and
+//! `--kernel` fill (DESIGN.md item 11): sparse pair walk, dense scalar scan,
+//! and dense SIMD lane groups over `u8` and `u16` cells must all reproduce
+//! the exact fingerprints pinned here — the storage and kernel knobs are
+//! perf-only by construction, and this test is the proof.
 
 use gbdt_cluster::Cluster;
-use gbdt_core::TrainConfig;
+use gbdt_core::{Kernel, Storage, TrainConfig};
 use gbdt_data::synthetic::SyntheticConfig;
 use gbdt_data::Dataset;
 use gbdt_quadrants::{featpar, qd1, qd2, qd3, qd4, single, yggdrasil, Aggregation};
+use vero::{Vero, VeroConfig};
 
 /// FNV-1a over the little-endian bytes of every raw prediction.
 fn fingerprint(preds: &[f64]) -> u64 {
@@ -82,9 +89,59 @@ fn ensembles_are_bit_identical_to_pinned_fingerprints() {
     check("featpar", &r.model.predict_dataset_raw(&ds), FP_FEATPAR);
 }
 
+/// Every trainer × every storage layout × every fill kernel reproduces the
+/// exact fingerprints pinned above. `DenseWide` forces `u16` cells even
+/// though q fits `u8`, so both SIMD lane widths (16 × u8, 8 × u16) are on
+/// the hook for bit-identity in every trainer.
+#[test]
+fn fingerprints_hold_across_storage_and_kernel() {
+    let ds = dataset();
+    let cluster = Cluster::new(2);
+    for storage in [Storage::Sparse, Storage::Dense, Storage::DenseWide] {
+        for kernel in Kernel::ALL {
+            let cfg = TrainConfig::builder()
+                .n_trees(4)
+                .n_layers(4)
+                .storage(storage)
+                .kernel(kernel)
+                .build()
+                .unwrap();
+            let tag = |t: &str| format!("{t}[{}/{}]", storage.label(), kernel.label());
+            let r = single::train(&ds, &cfg);
+            check(&tag("single"), &r.predict_dataset_raw(&ds), FP_SINGLE);
+            let r = qd1::train(&cluster, &ds, &cfg);
+            check(&tag("qd1"), &r.model.predict_dataset_raw(&ds), FP_QD1);
+            let r = qd2::train(&cluster, &ds, &cfg, Aggregation::ReduceScatter);
+            check(&tag("qd2"), &r.model.predict_dataset_raw(&ds), FP_QD2_RS);
+            let r = qd3::train(&cluster, &ds, &cfg);
+            check(&tag("qd3"), &r.model.predict_dataset_raw(&ds), FP_QD3);
+            let r = qd4::train(&cluster, &ds, &cfg);
+            check(&tag("qd4"), &r.model.predict_dataset_raw(&ds), FP_QD4);
+            let r = yggdrasil::train(&cluster, &ds, &cfg);
+            check(&tag("yggdrasil"), &r.model.predict_dataset_raw(&ds), FP_YGG);
+            let r = featpar::train(&cluster, &ds, &cfg);
+            check(&tag("featpar"), &r.model.predict_dataset_raw(&ds), FP_FEATPAR);
+
+            let vcfg = VeroConfig::builder()
+                .workers(2)
+                .n_trees(4)
+                .n_layers(4)
+                .storage(storage)
+                .kernel(kernel)
+                .build()
+                .unwrap();
+            let outcome = Vero::fit(&vcfg, &ds);
+            check(&tag("vero"), &outcome.model.inner.predict_dataset_raw(&ds), FP_VERO);
+        }
+    }
+}
+
 // Captured from the pre-BTreeMap-swap build (seed state of this PR); see
 // module docs. Regenerate only for a change that intentionally alters
-// trained ensembles, and say so in the commit.
+// trained ensembles, and say so in the commit. FP_VERO was captured when
+// the storage × kernel sweep landed (Vero's pipeline differs from bare
+// qd4: grouping + objective defaults), from the then-current scalar/sparse
+// build — the SIMD kernels had to match it, not the other way around.
 const FP_SINGLE: u64 = 0x6fa4_55f6_cf12_84e1;
 const FP_QD1: u64 = 0xd460_8c70_9d41_1ff4;
 const FP_QD2_AR: u64 = 0x8a0e_13d1_6225_cf18;
@@ -93,6 +150,7 @@ const FP_QD3: u64 = 0xe2aa_7b22_b437_c55e;
 const FP_QD4: u64 = 0xe2aa_7b22_b437_c55e;
 const FP_YGG: u64 = 0xe2aa_7b22_b437_c55e;
 const FP_FEATPAR: u64 = 0x6fa4_55f6_cf12_84e1;
+const FP_VERO: u64 = 0xe2aa_7b22_b437_c55e;
 
 /// Prints the current fingerprints (run with `--nocapture --ignored`).
 #[test]
@@ -110,4 +168,6 @@ fn print_fingerprints() {
     println!("FP_QD4: {:#018x}", fp(&qd4::train(&cluster, &ds, &cfg).model.predict_dataset_raw(&ds)));
     println!("FP_YGG: {:#018x}", fp(&yggdrasil::train(&cluster, &ds, &cfg).model.predict_dataset_raw(&ds)));
     println!("FP_FEATPAR: {:#018x}", fp(&featpar::train(&cluster, &ds, &cfg).model.predict_dataset_raw(&ds)));
+    let vcfg = VeroConfig::builder().workers(2).n_trees(4).n_layers(4).build().unwrap();
+    println!("FP_VERO: {:#018x}", fp(&Vero::fit(&vcfg, &ds).model.inner.predict_dataset_raw(&ds)));
 }
