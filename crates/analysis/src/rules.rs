@@ -89,8 +89,12 @@ fn map_iteration_scope(path: &str) -> bool {
 /// Wall-clock reads are the *business* of the stats/cost layers and the
 /// bench harness; everywhere else they are a determinism hazard.
 fn wall_clock_scope(path: &str) -> bool {
+    // serve/stats.rs is the serving layer's sanctioned stopwatch; the
+    // traversal kernels and request loop around it stay clock-free so a
+    // timing read can never sit next to the bit-identity contract.
     !(path == "crates/cluster/src/stats.rs"
         || path == "crates/cluster/src/cost.rs"
+        || path == "crates/serve/src/stats.rs"
         || path.starts_with("crates/bench/")
         || path.starts_with("crates/analysis/"))
 }

@@ -1,0 +1,13 @@
+//@ path: crates/cluster/src/comm.rs
+//@ expect: tag-registry
+// Known-bad: a new serving tag reusing an already-registered value inside
+// the central registry. Uniqueness is the whole point of `mod protocol`;
+// the checker must flag the collision even though both constants live in
+// the right place.
+
+pub mod protocol {
+    /// Prediction request frames.
+    pub const SERVE_REQUEST_TAG: u64 = 0x7376_7271;
+    /// Duplicate value under a different name — collides with requests.
+    pub const SERVE_SCORE_TAG: u64 = 0x7376_7271;
+}

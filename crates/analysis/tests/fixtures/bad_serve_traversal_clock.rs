@@ -1,0 +1,16 @@
+//@ path: crates/serve/src/exec.rs
+//@ expect: wall-clock
+// Known-bad: a wall-clock read inside a serving traversal kernel. Only
+// crates/serve/src/stats.rs is allowlisted — a clock in the scoring hot
+// path both perturbs the measurement and parks nondeterminism next to
+// the bit-identity contract, so the rule must still fire here.
+
+use std::time::Instant;
+
+pub fn traverse_timed(nodes: &[u32], mut idx: usize) -> (usize, f64) {
+    let t0 = Instant::now();
+    for _ in 0..8 {
+        idx = nodes.get(idx).copied().unwrap_or(0) as usize;
+    }
+    (idx, t0.elapsed().as_secs_f64())
+}

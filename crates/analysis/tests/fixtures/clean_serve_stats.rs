@@ -1,0 +1,9 @@
+//@ path: crates/serve/src/stats.rs
+// Clean: serve/stats.rs is the one serving-layer file allowlisted for
+// wall-clock reads — latency accounting is its whole job.
+
+use std::time::Instant;
+
+pub fn elapsed_s(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64()
+}

@@ -259,7 +259,7 @@ pub fn run_grid(spec: &GridSpec) -> Value {
 /// mins separately are bounded below by the true quiet-machine times.)
 /// [`compare_reports`] gates on the `*_rel` metrics whenever both reports
 /// carry them.
-fn probe_once() -> f64 {
+pub(crate) fn probe_once() -> f64 {
     let start = Instant::now();
     let mut x = 0x9e37_79b9_7f4a_7c15_u64;
     let mut acc = 0u64;
@@ -348,20 +348,38 @@ fn index_report(report: &Value) -> Result<BTreeMap<String, Metric>, String> {
         .and_then(Value::as_array)
         .ok_or("report has no 'cells' array")?;
     for cell in cells {
-        let key = format!(
-            "cell {}/{}/{}/t{}/{}",
-            cell.get("system").and_then(Value::as_str).ok_or("cell missing 'system'")?,
-            cell.get("storage").and_then(Value::as_str).unwrap_or("?"),
-            cell.get("wire").and_then(Value::as_str).unwrap_or("?"),
-            cell.get("threads").and_then(Value::as_u64).unwrap_or(0),
-            cell.get("kernel").and_then(Value::as_str).unwrap_or("?"),
-        );
-        let tps = cell
-            .get("trees_per_sec")
+        // Serving cells (gbdt-serve grids) carry a `strategy` axis and
+        // gate on `rows_per_sec`; training cells carry a `system` axis
+        // and gate on `trees_per_sec`. Both share the `wall_rel` twin.
+        let (key, metric_name) = if let Some(strategy) = cell.get("strategy").and_then(Value::as_str)
+        {
+            (
+                format!(
+                    "serve {strategy}/b{}/T{}",
+                    cell.get("batch").and_then(Value::as_u64).unwrap_or(0),
+                    cell.get("trees").and_then(Value::as_u64).unwrap_or(0),
+                ),
+                "rows_per_sec",
+            )
+        } else {
+            (
+                format!(
+                    "cell {}/{}/{}/t{}/{}",
+                    cell.get("system").and_then(Value::as_str).ok_or("cell missing 'system'")?,
+                    cell.get("storage").and_then(Value::as_str).unwrap_or("?"),
+                    cell.get("wire").and_then(Value::as_str).unwrap_or("?"),
+                    cell.get("threads").and_then(Value::as_u64).unwrap_or(0),
+                    cell.get("kernel").and_then(Value::as_str).unwrap_or("?"),
+                ),
+                "trees_per_sec",
+            )
+        };
+        let throughput = cell
+            .get(metric_name)
             .and_then(Value::as_f64)
-            .ok_or(format!("{key} missing 'trees_per_sec'"))?;
+            .ok_or(format!("{key} missing '{metric_name}'"))?;
         let rel = cell.get("wall_rel").and_then(Value::as_f64).filter(|r| *r > 0.0);
-        out.insert(key, Metric { value: tps, rel: rel.map(|r| -r) });
+        out.insert(key, Metric { value: throughput, rel: rel.map(|r| -r) });
     }
     if let Some(kernels) = report.get("kernels").and_then(Value::as_object) {
         for (name, v) in kernels.iter() {

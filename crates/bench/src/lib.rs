@@ -22,4 +22,5 @@ pub mod datasets;
 pub mod endtoend;
 pub mod grid;
 pub mod output;
+pub mod servegrid;
 pub mod systems;

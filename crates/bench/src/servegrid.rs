@@ -1,0 +1,549 @@
+//! Serving-grid benchmark: compiled-inference throughput sweep + traffic
+//! harness.
+//!
+//! The serving analogue of [`crate::grid`]: a spec (JSON, see
+//! `benchgrids/serve.json`) names a synthetic ensemble shape and the axes
+//! to sweep — execution strategy × request batch size × tree count. Every
+//! cell scores the same deterministic row set, asserts bit-identity
+//! against the naive tree-walk reference (`GbdtModel::predict_row_into`),
+//! and records `rows_per_sec` plus the machine-relative `wall_rel` twin
+//! (same interleaved [`probe_once`] protocol as the training grid), so
+//! [`crate::grid::compare_reports`] gates serving cells exactly like
+//! training cells.
+//!
+//! The `walk` strategy is the baseline the compiled paths are measured
+//! against: the model's own per-row `Option`-boxed tree walk. `per-row`
+//! and `blocked` are the two `gbdt-serve` executors; the `speedups`
+//! section of the report records blocked-vs-walk at every large batch so
+//! the crossover is visible in the checked-in trajectory, and
+//! `min_blocked_speedup` in the spec turns that into a loud gate.
+//!
+//! When the spec carries a `traffic` object the run closes with one
+//! fixed-seed pass of the QPS harness ([`gbdt_serve::traffic`]): open-loop
+//! clients, a mid-run hot-swap publish, p50/p99/p999 latency. Latency
+//! percentiles are informational (no `*_rel` twin — queueing is not a
+//! core-speed effect), so the regression gate ignores them.
+
+use crate::grid::probe_once;
+use gbdt_core::model::GbdtModel;
+use gbdt_core::tree::Tree;
+use gbdt_core::Objective;
+use gbdt_serve::compile::{compile, CompiledEnsemble};
+use gbdt_serve::exec::Strategy;
+use gbdt_serve::traffic::{run_traffic, TrafficConfig};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One axis entry: the naive tree-walk baseline or a compiled executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// `GbdtModel::predict_row_into` on the sparse row form — the
+    /// reference every compiled strategy must match bit-for-bit, and the
+    /// baseline the speedup gate divides by.
+    Walk,
+    /// A `gbdt-serve` execution strategy over the flattened ensemble.
+    Compiled(Strategy),
+}
+
+impl Engine {
+    /// Parses an axis entry (`"walk"`, `"per-row"`, `"blocked"`,
+    /// `"blocked:N"`).
+    pub fn parse(s: &str) -> Result<Engine, String> {
+        if s == "walk" {
+            Ok(Engine::Walk)
+        } else {
+            s.parse::<Strategy>().map(Engine::Compiled)
+        }
+    }
+
+    /// Cell label (the serving strategy axis key).
+    pub fn label(&self) -> String {
+        match self {
+            Engine::Walk => "walk".to_string(),
+            Engine::Compiled(s) => s.label(),
+        }
+    }
+}
+
+/// Optional fixed-seed traffic pass appended to the grid report.
+#[derive(Debug, Clone)]
+pub struct TrafficSpec {
+    /// Client threads.
+    pub n_clients: usize,
+    /// Requests per client.
+    pub requests_per_client: usize,
+    /// Rows per request.
+    pub batch: usize,
+    /// Offered load, requests/s across all clients (0 = open throttle).
+    pub qps: f64,
+}
+
+/// A parsed serving grid: ensemble shape plus the axes to sweep.
+#[derive(Debug, Clone)]
+pub struct ServeGridSpec {
+    /// Report name (`"benchmark"` field of the trajectory).
+    pub name: String,
+    /// Row width of the synthetic ensemble and row set.
+    pub n_features: usize,
+    /// L — layers per tree (complete trees, so 2^(L−1) leaves).
+    pub layers: usize,
+    /// Rows in the scored eval set (every cell scores all of them).
+    pub rows: usize,
+    /// Seed for the deterministic ensemble + row generators.
+    pub seed: u64,
+    /// Tree-count axis.
+    pub trees: Vec<usize>,
+    /// Request-batch-size axis.
+    pub batches: Vec<usize>,
+    /// Strategy axis.
+    pub strategies: Vec<Engine>,
+    /// Scoring passes per cell; reported wall time is the best of them.
+    pub reps: usize,
+    /// When > 0: the largest-ensemble blocked-vs-walk speedup at some
+    /// batch ≥ 256 must reach this factor or the run panics — the PR's
+    /// acceptance criterion, enforced at report-generation time.
+    pub min_blocked_speedup: f64,
+    /// Optional traffic pass.
+    pub traffic: Option<TrafficSpec>,
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Value::as_u64).ok_or(format!("serve grid spec needs integer '{key}'"))
+}
+
+fn usize_axis(v: &Value, key: &str) -> Result<Vec<usize>, String> {
+    match v.get(key) {
+        Some(Value::Array(items)) if !items.is_empty() => items
+            .iter()
+            .map(|it| {
+                it.as_u64()
+                    .map(|t| t as usize)
+                    .ok_or(format!("'{key}' entries must be integers"))
+            })
+            .collect(),
+        _ => Err(format!("serve grid spec needs non-empty array '{key}'")),
+    }
+}
+
+impl ServeGridSpec {
+    /// Parses a spec from its JSON value, rejecting unknown axis entries.
+    pub fn from_value(v: &Value) -> Result<ServeGridSpec, String> {
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("serve grid spec needs string 'name'")?
+            .to_string();
+        let strategies = match v.get("strategies") {
+            Some(Value::Array(items)) if !items.is_empty() => items
+                .iter()
+                .map(|it| {
+                    Engine::parse(
+                        it.as_str().ok_or("'strategies' entries must be strings")?,
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => vec![Engine::Walk, Engine::Compiled(Strategy::PerRow), Engine::Compiled(Strategy::Blocked(0))],
+        };
+        let traffic = match v.get("traffic") {
+            None => None,
+            Some(t) => Some(TrafficSpec {
+                n_clients: req_u64(t, "n_clients")? as usize,
+                requests_per_client: req_u64(t, "requests_per_client")? as usize,
+                batch: req_u64(t, "batch")? as usize,
+                qps: t.get("qps").and_then(Value::as_f64).unwrap_or(0.0),
+            }),
+        };
+        let spec = ServeGridSpec {
+            name,
+            n_features: req_u64(v, "n_features")? as usize,
+            layers: req_u64(v, "layers")? as usize,
+            rows: req_u64(v, "rows")? as usize,
+            seed: req_u64(v, "seed")?,
+            trees: usize_axis(v, "trees")?,
+            batches: usize_axis(v, "batches")?,
+            strategies,
+            reps: v.get("reps").and_then(Value::as_u64).unwrap_or(3) as usize,
+            min_blocked_speedup: v
+                .get("min_blocked_speedup")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            traffic,
+        };
+        if spec.reps == 0 {
+            return Err("'reps' must be at least 1".into());
+        }
+        if spec.rows == 0 || spec.n_features == 0 {
+            return Err("'rows' and 'n_features' must be positive".into());
+        }
+        if spec.batches.contains(&0) {
+            return Err("'batches' entries must be positive".into());
+        }
+        Ok(spec)
+    }
+
+    /// Parses a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<ServeGridSpec, String> {
+        ServeGridSpec::from_value(
+            &serde_json::from_str::<Value>(text).map_err(|e| format!("{e:?}"))?,
+        )
+    }
+
+    /// Number of cells the sweep will run.
+    pub fn n_cells(&self) -> usize {
+        self.strategies.len() * self.batches.len() * self.trees.len()
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic complete-tree ensemble: every non-bottom layer splits,
+/// the bottom layer is leaves — the densest node layout per tree, which
+/// is what makes the blocked executor's cache story measurable.
+pub fn synthetic_model(seed: u64, n_trees: usize, n_layers: usize, n_features: usize) -> GbdtModel {
+    let mut state = seed ^ 0x5e7e_ca57_0000_0001;
+    let mut model = GbdtModel::new(Objective::SquaredError, 0.1, n_features);
+    let internal = if n_layers > 1 { (1usize << (n_layers - 1)) - 1 } else { 0 };
+    let total = (1usize << n_layers) - 1;
+    for _ in 0..n_trees {
+        let mut tree = Tree::new(n_layers, 1);
+        for id in 0..internal {
+            let feature = (splitmix(&mut state) % n_features as u64) as u32;
+            let threshold = (unit(&mut state) * 4.0 - 2.0) as f32;
+            let default_left = splitmix(&mut state) & 1 == 0;
+            tree.set_internal(id as u32, feature, 0, threshold, default_left);
+        }
+        for id in internal..total {
+            tree.set_leaf(id as u32, vec![unit(&mut state) * 0.2 - 0.1]);
+        }
+        model.trees.push(tree);
+    }
+    model
+}
+
+/// Deterministic NaN-bearing dense rows (~10% missing) in the thresholds'
+/// value range, so traversal exercises both children and the default
+/// direction.
+pub fn synthetic_rows(seed: u64, n_rows: usize, n_features: usize) -> Vec<f32> {
+    let mut state = seed ^ 0x0b5e_55ed_7075;
+    (0..n_rows * n_features)
+        .map(|_| {
+            if splitmix(&mut state).is_multiple_of(10) {
+                f32::NAN
+            } else {
+                (unit(&mut state) * 5.0 - 2.5) as f32
+            }
+        })
+        .collect()
+}
+
+/// Sparse (feats, vals) form of the dense rows — NaN cells dropped — for
+/// the tree-walk baseline, precomputed outside the timed region.
+fn sparse_rows(rows: &[f32], n_features: usize) -> Vec<(Vec<u32>, Vec<f32>)> {
+    rows.chunks_exact(n_features)
+        .map(|row| {
+            let mut feats = Vec::new();
+            let mut vals = Vec::new();
+            for (j, &v) in row.iter().enumerate() {
+                if !v.is_nan() {
+                    feats.push(j as u32);
+                    vals.push(v);
+                }
+            }
+            (feats, vals)
+        })
+        .collect()
+}
+
+fn walk_pass(model: &GbdtModel, sparse: &[(Vec<u32>, Vec<f32>)], out: &mut [f64]) {
+    for ((feats, vals), slot) in sparse.iter().zip(out.chunks_exact_mut(1)) {
+        model.predict_row_into(feats, vals, slot);
+    }
+}
+
+fn compiled_pass(
+    strategy: Strategy,
+    ens: &CompiledEnsemble,
+    rows: &[f32],
+    n_features: usize,
+    batch: usize,
+    out: &mut [f64],
+) {
+    let executor = strategy.executor();
+    for (row_chunk, out_chunk) in
+        rows.chunks(batch * n_features).zip(out.chunks_mut(batch))
+    {
+        executor.predict_into(ens, row_chunk, out_chunk);
+    }
+}
+
+/// Runs every cell of the serving grid and returns the trajectory report.
+///
+/// Panics when any compiled cell's scores differ bit-for-bit from the
+/// tree-walk reference, or when `min_blocked_speedup` is set and the
+/// largest ensemble's blocked-vs-walk speedup misses it at every
+/// batch ≥ 256 — a perf trajectory must never be written from a run that
+/// broke the PR's own contract.
+pub fn run_serve_grid(spec: &ServeGridSpec) -> Value {
+    let dense = synthetic_rows(spec.seed, spec.rows, spec.n_features);
+    let sparse = sparse_rows(&dense, spec.n_features);
+    let mut cells: Vec<Value> = Vec::new();
+    // (strategy label, batch, trees) → rows/sec, for the speedup section.
+    let mut throughput: BTreeMap<(String, usize, usize), f64> = BTreeMap::new();
+    for &n_trees in &spec.trees {
+        let model = synthetic_model(spec.seed, n_trees, spec.layers, spec.n_features);
+        let ens = compile(&model, 1).unwrap_or_else(|e| panic!("compile failed: {e}"));
+        let mut reference = vec![0.0f64; spec.rows];
+        walk_pass(&model, &sparse, &mut reference);
+        for &engine in &spec.strategies {
+            for &batch in &spec.batches {
+                let mut out = vec![0.0f64; spec.rows];
+                let mut wall = f64::INFINITY;
+                let mut best_cal = f64::INFINITY;
+                for _ in 0..spec.reps {
+                    best_cal = best_cal.min(probe_once());
+                    let start = Instant::now();
+                    match engine {
+                        Engine::Walk => walk_pass(&model, &sparse, &mut out),
+                        Engine::Compiled(strategy) => compiled_pass(
+                            strategy,
+                            &ens,
+                            &dense,
+                            spec.n_features,
+                            batch,
+                            &mut out,
+                        ),
+                    }
+                    wall = wall.min(start.elapsed().as_secs_f64());
+                    std::hint::black_box(&out);
+                }
+                let bits =
+                    |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(
+                    bits(&out),
+                    bits(&reference),
+                    "{} diverged from the tree walk at T={n_trees} batch={batch}",
+                    engine.label(),
+                );
+                let label = engine.label();
+                let rows_per_sec = spec.rows as f64 / wall;
+                throughput.insert((label.clone(), batch, n_trees), rows_per_sec);
+                cells.push(json!({
+                    "strategy": label,
+                    "batch": batch,
+                    "trees": n_trees,
+                    "layers": spec.layers,
+                    "rows": spec.rows,
+                    "rows_per_sec": rows_per_sec,
+                    "wall_s": wall,
+                    "wall_rel": wall / best_cal,
+                }));
+            }
+        }
+    }
+
+    // Blocked-vs-walk (and per-row-vs-walk) at every batch, per ensemble
+    // size: the crossover record. The gate reads the largest ensemble at
+    // batch ≥ 256.
+    let mut speedups: Vec<Value> = Vec::new();
+    let mut gate_best = 0.0f64;
+    let max_trees = spec.trees.iter().copied().max().unwrap_or(0);
+    for &n_trees in &spec.trees {
+        for &batch in &spec.batches {
+            let walk = throughput.get(&("walk".to_string(), batch, n_trees)).copied();
+            let Some(walk) = walk.filter(|w| *w > 0.0) else { continue };
+            let mut entry = serde_json::Map::new();
+            entry.insert("trees".into(), json!(n_trees));
+            entry.insert("batch".into(), json!(batch));
+            for ((label, b, t), rps) in &throughput {
+                if *b == batch && *t == n_trees && label != "walk" {
+                    let factor = rps / walk;
+                    entry.insert(format!("{label}_vs_walk"), json!(factor));
+                    if label.starts_with("blocked") && n_trees == max_trees && batch >= 256 {
+                        gate_best = gate_best.max(factor);
+                    }
+                }
+            }
+            speedups.push(Value::Object(entry));
+        }
+    }
+    if spec.min_blocked_speedup > 0.0 {
+        assert!(
+            gate_best >= spec.min_blocked_speedup,
+            "blocked inference is only {gate_best:.2}x the tree walk at T={max_trees}, \
+             batch >= 256 — the spec demands {:.2}x",
+            spec.min_blocked_speedup,
+        );
+    }
+
+    let mut report = json!({
+        "benchmark": spec.name,
+        "serve": {
+            "n_features": spec.n_features,
+            "layers": spec.layers,
+            "rows": spec.rows,
+            "seed": spec.seed,
+            "reps": spec.reps,
+            "trees": spec.trees,
+        },
+        "cells": cells,
+        "speedups": speedups,
+    });
+    if let Some(traffic) = &spec.traffic {
+        let run = traffic_pass(spec, traffic);
+        if let Value::Object(map) = &mut report {
+            map.insert("traffic".to_string(), run);
+        }
+    }
+    report
+}
+
+/// One fixed-seed pass of the QPS harness: open-loop clients against the
+/// blocked executor, with a second model published mid-run so every
+/// trajectory also witnesses a verified hot-swap.
+fn traffic_pass(spec: &ServeGridSpec, traffic: &TrafficSpec) -> Value {
+    let n_trees = spec.trees.iter().copied().min().unwrap_or(1);
+    let models = [
+        synthetic_model(spec.seed, n_trees, spec.layers, spec.n_features),
+        synthetic_model(spec.seed ^ 0x00de_ad00, n_trees, spec.layers, spec.n_features),
+    ];
+    let cfg = TrafficConfig {
+        n_clients: traffic.n_clients,
+        requests_per_client: traffic.requests_per_client,
+        batch: traffic.batch,
+        qps: traffic.qps,
+        strategy: Strategy::Blocked(0),
+        seed: spec.seed,
+    };
+    let run = run_traffic(&models, &cfg).unwrap_or_else(|e| panic!("traffic pass failed: {e}"));
+    json!({
+        "strategy": run.strategy,
+        "batch": run.batch,
+        "n_trees": run.n_trees,
+        "n_clients": run.n_clients,
+        "target_qps": run.target_qps,
+        "requests": run.requests,
+        "dropped": run.dropped,
+        "rows": run.rows,
+        "publishes": run.publishes,
+        "versions_seen": run.versions_seen,
+        "wall_s": run.wall_s,
+        "throughput_rps": run.throughput_rps,
+        "rows_per_sec": run.rows_per_sec,
+        "p50_ms": run.p50_ms,
+        "p99_ms": run.p99_ms,
+        "p999_ms": run.p999_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::compare_reports;
+
+    const SPEC: &str = r#"{
+        "name": "serve-unit",
+        "n_features": 8,
+        "layers": 4,
+        "rows": 256,
+        "seed": 11,
+        "trees": [3, 17],
+        "batches": [1, 64],
+        "strategies": ["walk", "per-row", "blocked", "blocked:2"],
+        "reps": 2,
+        "traffic": {"n_clients": 2, "requests_per_client": 20, "batch": 4, "qps": 0}
+    }"#;
+
+    #[test]
+    fn spec_parses() {
+        let spec = ServeGridSpec::from_json(SPEC).unwrap();
+        assert_eq!(spec.name, "serve-unit");
+        assert_eq!(spec.trees, vec![3, 17]);
+        assert_eq!(spec.batches, vec![1, 64]);
+        assert_eq!(spec.strategies.len(), 4);
+        assert_eq!(spec.strategies[0], Engine::Walk);
+        assert_eq!(spec.strategies[3], Engine::Compiled(Strategy::Blocked(2)));
+        assert_eq!(spec.n_cells(), 16);
+        assert_eq!(spec.reps, 2);
+        assert_eq!(spec.min_blocked_speedup, 0.0);
+        let t = spec.traffic.unwrap();
+        assert_eq!((t.n_clients, t.requests_per_client, t.batch), (2, 20, 4));
+        assert_eq!(t.qps, 0.0);
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        assert!(ServeGridSpec::from_json("{").is_err());
+        assert!(ServeGridSpec::from_json(r#"{"name": "x"}"#).is_err());
+        let bad = SPEC.replace("\"walk\"", "\"simd\"");
+        assert!(ServeGridSpec::from_json(&bad).is_err());
+        let zero_batch = SPEC.replace("[1, 64]", "[0]");
+        assert!(ServeGridSpec::from_json(&zero_batch).unwrap_err().contains("batches"));
+        let zero_reps = SPEC.replace("\"reps\": 2", "\"reps\": 0");
+        assert!(ServeGridSpec::from_json(&zero_reps).unwrap_err().contains("reps"));
+    }
+
+    #[test]
+    fn serve_grid_runs_bit_identical_and_self_compares() {
+        let spec = ServeGridSpec::from_json(SPEC).unwrap();
+        let report = run_serve_grid(&spec);
+        let cells = report.get("cells").and_then(Value::as_array).unwrap();
+        assert_eq!(cells.len(), spec.n_cells());
+        for cell in cells {
+            assert!(cell.get("rows_per_sec").and_then(Value::as_f64).unwrap() > 0.0);
+            assert!(cell.get("wall_rel").and_then(Value::as_f64).unwrap() > 0.0);
+        }
+        // Speedup entries exist for every (trees, batch) pair and carry
+        // the compiled-vs-walk factors.
+        let speedups = report.get("speedups").and_then(Value::as_array).unwrap();
+        assert_eq!(speedups.len(), 4);
+        for s in speedups {
+            assert!(s.get("per-row_vs_walk").and_then(Value::as_f64).unwrap() > 0.0);
+            assert!(s.get("blocked_vs_walk").and_then(Value::as_f64).unwrap() > 0.0);
+        }
+        // The traffic pass completed with a verified hot-swap and no drops.
+        let traffic = report.get("traffic").and_then(Value::as_object).unwrap();
+        assert_eq!(traffic.get("dropped").and_then(Value::as_u64), Some(0));
+        assert_eq!(traffic.get("requests").and_then(Value::as_u64), Some(40));
+        assert_eq!(traffic.get("versions_seen").unwrap(), &json!([1, 2]));
+        assert!(traffic.get("throughput_rps").and_then(Value::as_f64).unwrap() > 0.0);
+        // The regression gate indexes serving cells and passes against
+        // itself.
+        let cmp = compare_reports(&report, &report, 0.10).unwrap();
+        assert!(cmp.compared >= spec.n_cells());
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    #[should_panic(expected = "the spec demands")]
+    fn impossible_speedup_gate_fires() {
+        let mut spec = ServeGridSpec::from_json(SPEC).unwrap();
+        spec.traffic = None;
+        spec.batches = vec![256];
+        spec.min_blocked_speedup = 1e9;
+        run_serve_grid(&spec);
+    }
+
+    #[test]
+    fn synthetic_generators_are_deterministic() {
+        let a = synthetic_model(7, 3, 4, 8);
+        let b = synthetic_model(7, 3, 4, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, synthetic_model(8, 3, 4, 8));
+        let r1 = synthetic_rows(7, 16, 8);
+        let r2 = synthetic_rows(7, 16, 8);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&r1), bits(&r2));
+        assert!(r1.iter().any(|v| v.is_nan()), "rows must exercise missing values");
+    }
+}

@@ -333,6 +333,54 @@ impl Comm {
         }
     }
 
+    /// Receives the next message carrying **any** of `tags`, from any rank,
+    /// returning `(from, tag, payload)`.
+    ///
+    /// This is the serving-loop primitive: a server rank multiplexing
+    /// prediction requests, model publishes, and shutdowns from many client
+    /// ranks cannot know which `(from, tag)` pair arrives next, and a
+    /// fixed-order `recv` chain would starve whichever client it is not
+    /// currently blocked on. Buffered out-of-order messages are drained
+    /// first (oldest first), so no request is starved by later arrivals.
+    pub fn recv_any(&self, tags: &[u64]) -> Result<(usize, u64, Bytes), CommError> {
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|e| tags.contains(&e.tag)) {
+                let envelope = pending.remove(pos); // oldest match, FIFO
+                self.account_recv(envelope.from as usize, envelope.payload.len());
+                return Ok((envelope.from as usize, envelope.tag, envelope.payload));
+            }
+        }
+        loop {
+            if self.cancel.load(Ordering::Relaxed) {
+                return Err(CommError::Cancelled);
+            }
+            let envelope = match self.receiver.recv_timeout(self.recv_patience.get()) {
+                Ok(envelope) => envelope,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout {
+                        from: usize::MAX,
+                        tag: tags.first().copied().unwrap_or(0),
+                    })
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::PeerGone { to: usize::MAX })
+                }
+            };
+            if envelope.from == CONTROL_FROM {
+                return Err(CommError::Cancelled);
+            }
+            if self.faults.is_some() && !self.admit(&envelope) {
+                continue;
+            }
+            if tags.contains(&envelope.tag) {
+                self.account_recv(envelope.from as usize, envelope.payload.len());
+                return Ok((envelope.from as usize, envelope.tag, envelope.payload));
+            }
+            self.pending.borrow_mut().push(envelope);
+        }
+    }
+
     /// Duplicate detection at envelope intake: returns `false` (after
     /// accounting the wasted transfer) when `(from, tag, seq)` was already
     /// delivered, so a duplicate can never satisfy a later `recv`.
@@ -409,12 +457,58 @@ pub mod protocol {
     /// once per transform, before any collective traffic, so a single tag
     /// is unambiguous.
     pub const REPARTITION_A2A_TAG: u64 = 0x7261_7274; // "rprt"
+
+    /// Prediction request: client → server, a `gbdt-serve` wire-framed
+    /// batch of dense feature rows (request id, row count, f32 cells).
+    pub const SERVE_REQUEST_TAG: u64 = 0x7376_7271; // "svrq"
+
+    /// Prediction response: server → client, raw scores for one request
+    /// (request id, model version, f64 scores row-major).
+    pub const SERVE_RESPONSE_TAG: u64 = 0x7376_7270; // "svrp"
+
+    /// Model publish: trainer → server, a [`GbdtModel::encode_bytes`]
+    /// payload to hot-swap in; acked on the response tag.
+    pub const SERVE_PUBLISH_TAG: u64 = 0x7376_7062; // "svpb"
+
+    /// Serving shutdown: client → server, drains after the client's last
+    /// request (the server exits once every client has said stop).
+    pub const SERVE_STOP_TAG: u64 = 0x7376_7374; // "svst"
 }
 
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn recv_any_multiplexes_senders_and_tags() {
+        let mesh =
+            Comm::mesh(3, NetworkCostModel { latency_s: 0.0, bandwidth_bytes_per_s: 1e9 });
+        let (server, c1, c2) = (&mesh[0], &mesh[1], &mesh[2]);
+        c1.send(0, 11, Bytes::from_static(b"one")).unwrap();
+        c2.send(0, 22, Bytes::from_static(b"two")).unwrap();
+        c1.send(0, 33, Bytes::from_static(b"ignored-tag")).unwrap();
+        c1.send(0, 11, Bytes::from_static(b"three")).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let (from, tag, payload) = server.recv_any(&[11, 22]).unwrap();
+            got.push((from, tag, payload.to_vec()));
+        }
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                (1, 11, b"one".to_vec()),
+                (1, 11, b"three".to_vec()),
+                (2, 22, b"two".to_vec()),
+            ]
+        );
+        // The non-matching tag stayed buffered for a targeted recv.
+        assert_eq!(&server.recv(1, 33).unwrap()[..], b"ignored-tag");
+        // Nothing left: recv_any times out with a typed error.
+        server.set_recv_patience(std::time::Duration::from_millis(10));
+        assert!(matches!(server.recv_any(&[11, 22]), Err(CommError::Timeout { .. })));
+    }
 
     #[test]
     fn send_recv_roundtrip_with_accounting() {

@@ -120,6 +120,159 @@ impl GbdtModel {
         scores
     }
 
+    /// Serializes to the compact binary wire format.
+    ///
+    /// This is the payload a trainer publishes to serving workers
+    /// (`gbdt-serve` hot-swap) — all little-endian, fully deterministic:
+    /// the same model always encodes to the same bytes, so the pinned
+    /// encode fingerprints in `tests/ensemble_pinned.rs` hold across
+    /// machines. Layout:
+    ///
+    /// ```text
+    /// magic "GBDT" · u32 format version (1)
+    /// u8 objective tag · u32 n_classes (softmax only, else 0)
+    /// f64 learning_rate · u32 n_features
+    /// u32 init_scores len · f64 × len
+    /// u32 n_trees, then per tree:
+    ///   u32 n_layers · u32 n_outputs · u32 n_nodes, then per node
+    ///   (ascending complete-tree id):
+    ///     u32 id · u8 kind (0 = internal, 1 = leaf)
+    ///     internal: u32 feature · u16 bin · f32 threshold ·
+    ///               u8 default_left · f64 gain
+    ///     leaf:     f64 × n_outputs values
+    /// ```
+    pub fn encode_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.trees.len() * 256);
+        out.extend_from_slice(MODEL_MAGIC);
+        out.extend_from_slice(&MODEL_FORMAT_VERSION.to_le_bytes());
+        let (obj_tag, n_classes) = match self.objective {
+            Objective::SquaredError => (0u8, 0u32),
+            Objective::Logistic => (1, 0),
+            Objective::Softmax { n_classes } => (2, n_classes as u32),
+        };
+        out.push(obj_tag);
+        out.extend_from_slice(&n_classes.to_le_bytes());
+        out.extend_from_slice(&self.learning_rate.to_le_bytes());
+        out.extend_from_slice(&(self.n_features as u32).to_le_bytes());
+        out.extend_from_slice(&(self.init_scores.len() as u32).to_le_bytes());
+        for s in &self.init_scores {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.trees.len() as u32).to_le_bytes());
+        for tree in &self.trees {
+            out.extend_from_slice(&(tree.n_layers() as u32).to_le_bytes());
+            out.extend_from_slice(&(tree.n_outputs() as u32).to_le_bytes());
+            out.extend_from_slice(&(tree.n_nodes() as u32).to_le_bytes());
+            for id in 0..crate::tree::max_nodes(tree.n_layers()) as u32 {
+                let Some(node) = tree.node(id) else { continue };
+                out.extend_from_slice(&id.to_le_bytes());
+                match &node.kind {
+                    crate::tree::NodeKind::Internal {
+                        feature,
+                        bin,
+                        threshold,
+                        default_left,
+                        gain,
+                    } => {
+                        out.push(0);
+                        out.extend_from_slice(&feature.to_le_bytes());
+                        out.extend_from_slice(&bin.to_le_bytes());
+                        out.extend_from_slice(&threshold.to_le_bytes());
+                        out.push(u8::from(*default_left));
+                        out.extend_from_slice(&gain.to_le_bytes());
+                    }
+                    crate::tree::NodeKind::Leaf { values } => {
+                        out.push(1);
+                        for v in values {
+                            out.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes [`Self::encode_bytes`] output. `decode(encode(m)) == m`
+    /// bit-for-bit; malformed or truncated buffers return a description of
+    /// the first framing violation instead of panicking.
+    pub fn decode_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = ByteReader { bytes, pos: 0 };
+        if r.take(4)? != MODEL_MAGIC {
+            return Err("bad magic: not a GBDT model buffer".into());
+        }
+        let version = r.u32()?;
+        if version != MODEL_FORMAT_VERSION {
+            return Err(format!("unsupported model format version {version}"));
+        }
+        let obj_tag = r.u8()?;
+        let n_classes = r.u32()? as usize;
+        let objective = match obj_tag {
+            0 => Objective::SquaredError,
+            1 => Objective::Logistic,
+            2 => Objective::Softmax { n_classes },
+            t => return Err(format!("unknown objective tag {t}")),
+        };
+        let learning_rate = r.f64()?;
+        let n_features = r.u32()? as usize;
+        let n_init = r.u32()? as usize;
+        let mut init_scores = Vec::with_capacity(n_init.min(1 << 20));
+        for _ in 0..n_init {
+            init_scores.push(r.f64()?);
+        }
+        let n_trees = r.u32()? as usize;
+        let mut trees = Vec::with_capacity(n_trees.min(1 << 20));
+        for t in 0..n_trees {
+            let n_layers = r.u32()? as usize;
+            let n_outputs = r.u32()? as usize;
+            if !(1..=24).contains(&n_layers) {
+                return Err(format!("tree {t}: n_layers {n_layers} out of range"));
+            }
+            let n_nodes = r.u32()? as usize;
+            let mut tree = Tree::new(n_layers, n_outputs);
+            let max = crate::tree::max_nodes(n_layers) as u32;
+            let mut prev: Option<u32> = None;
+            for _ in 0..n_nodes {
+                let id = r.u32()?;
+                if id >= max {
+                    return Err(format!("tree {t}: node id {id} exceeds {n_layers} layers"));
+                }
+                if prev.is_some_and(|p| id <= p) {
+                    return Err(format!("tree {t}: node ids not strictly ascending at {id}"));
+                }
+                prev = Some(id);
+                match r.u8()? {
+                    0 => {
+                        let feature = r.u32()?;
+                        let bin = r.u16()?;
+                        let threshold = r.f32()?;
+                        let default_left = r.u8()? != 0;
+                        let gain = r.f64()?;
+                        if (crate::tree::children(id).1) >= max {
+                            return Err(format!(
+                                "tree {t}: internal node {id} has no room for children"
+                            ));
+                        }
+                        tree.set_internal_with_gain(id, feature, bin, threshold, default_left, gain);
+                    }
+                    1 => {
+                        let mut values = Vec::with_capacity(n_outputs);
+                        for _ in 0..n_outputs {
+                            values.push(r.f64()?);
+                        }
+                        tree.set_leaf(id, values);
+                    }
+                    k => return Err(format!("tree {t}: unknown node kind {k}")),
+                }
+            }
+            trees.push(tree);
+        }
+        if r.pos != bytes.len() {
+            return Err(format!("{} trailing bytes after model payload", bytes.len() - r.pos));
+        }
+        Ok(GbdtModel { objective, learning_rate, n_features, init_scores, trees })
+    }
+
     /// Serializes to a JSON string.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("model serializes")
@@ -128,6 +281,50 @@ impl GbdtModel {
     /// Deserializes from [`Self::to_json`] output.
     pub fn from_json(json: &str) -> Result<Self, String> {
         serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// Leading bytes of every [`GbdtModel::encode_bytes`] buffer.
+pub const MODEL_MAGIC: &[u8; 4] = b"GBDT";
+/// Binary model format version ([`GbdtModel::encode_bytes`]).
+pub const MODEL_FORMAT_VERSION: u32 = 1;
+
+/// Bounds-checked little-endian cursor for [`GbdtModel::decode_bytes`].
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("truncated model buffer at byte {}", self.pos))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().map_err(|_| "u16".to_string())?))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().map_err(|_| "u32".to_string())?))
+    }
+
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().map_err(|_| "f32".to_string())?))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().map_err(|_| "f64".to_string())?))
     }
 }
 
@@ -276,6 +473,51 @@ mod tests {
         // No trees: all zero, no NaN.
         let empty = GbdtModel::new(Objective::Logistic, 0.1, 3);
         assert_eq!(empty.feature_importance(ImportanceKind::TotalGain), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn byte_codec_roundtrip() {
+        let mut m = GbdtModel::new(Objective::Softmax { n_classes: 3 }, 0.2, 5);
+        let mut t = Tree::new(3, 3);
+        t.set_internal_with_gain(0, 4, 7, -1.25, false, 3.5);
+        t.set_leaf(1, vec![0.1, 0.2, 0.3]);
+        t.set_leaf(2, vec![-0.1, f64::MIN_POSITIVE, 0.0]);
+        m.trees.push(t);
+        let mut t2 = Tree::new(1, 3);
+        t2.set_leaf(0, vec![1.0, 2.0, 3.0]);
+        m.trees.push(t2);
+        let bytes = m.encode_bytes();
+        let back = GbdtModel::decode_bytes(&bytes).unwrap();
+        assert_eq!(m, back);
+        // Determinism: re-encoding the decoded model is byte-identical.
+        assert_eq!(bytes, back.encode_bytes());
+    }
+
+    #[test]
+    fn byte_codec_rejects_malformed() {
+        let mut m = GbdtModel::new(Objective::Logistic, 0.1, 2);
+        m.trees.push(stump(1.0, -1.0));
+        let bytes = m.encode_bytes();
+        // Truncation at every prefix must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(GbdtModel::decode_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(GbdtModel::decode_bytes(&long).is_err());
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(GbdtModel::decode_bytes(&bad).is_err());
+        // Unknown format version.
+        let mut vers = bytes.clone();
+        vers[4] = 99;
+        assert!(GbdtModel::decode_bytes(&vers).is_err());
+        // Unknown objective tag.
+        let mut obj = bytes;
+        obj[8] = 7;
+        assert!(GbdtModel::decode_bytes(&obj).is_err());
     }
 
     #[test]

@@ -220,6 +220,85 @@ proptest! {
     }
 }
 
+/// Deterministic splitmix64 step, for growing arbitrary-shape trees from a
+/// proptest-chosen seed without a strategy for recursive structures.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+/// Grows a random complete-indexed tree: BFS from the root, each node with
+/// room for children splits with probability ~0.7, else becomes a leaf.
+fn random_tree(seed: &mut u64, n_layers: usize, n_outputs: usize) -> Tree {
+    let mut tree = Tree::new(n_layers, n_outputs);
+    let mut frontier = vec![0u32];
+    let max = gbdt_core::tree::max_nodes(n_layers) as u32;
+    while let Some(id) = frontier.pop() {
+        let can_split = gbdt_core::tree::children(id).1 < max;
+        if can_split && splitmix(seed) % 10 < 7 {
+            tree.set_internal_with_gain(
+                id,
+                (splitmix(seed) % 16) as u32,
+                (splitmix(seed) % 64) as u16,
+                unit_f64(seed) as f32 * 10.0,
+                splitmix(seed).is_multiple_of(2),
+                unit_f64(seed).abs() * 5.0,
+            );
+            let (l, r) = gbdt_core::tree::children(id);
+            frontier.push(l);
+            frontier.push(r);
+        } else {
+            tree.set_leaf(id, (0..n_outputs).map(|_| unit_f64(seed)).collect());
+        }
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The binary model codec must round-trip arbitrary ensembles
+    /// bit-exactly, and re-encoding the decoded model must reproduce the
+    /// exact bytes (the hot-swap publish path depends on both).
+    #[test]
+    fn model_codec_round_trips(
+        seed in any::<u64>(),
+        obj_pick in 0u8..3,
+        n_layers in 1usize..6,
+        n_trees in 0usize..5,
+        learning_rate in 0.01f64..1.0,
+    ) {
+        use gbdt_core::model::GbdtModel;
+        use gbdt_core::Objective;
+        let objective = match obj_pick {
+            0 => Objective::SquaredError,
+            1 => Objective::Logistic,
+            _ => Objective::Softmax { n_classes: 3 },
+        };
+        let mut m = GbdtModel::new(objective, learning_rate, 16);
+        let n_outputs = m.n_outputs();
+        let mut state = seed;
+        for _ in 0..n_trees {
+            m.trees.push(random_tree(&mut state, n_layers, n_outputs));
+        }
+        let bytes = m.encode_bytes();
+        let back = GbdtModel::decode_bytes(&bytes);
+        prop_assert_eq!(back.as_ref(), Ok(&m), "decode(encode(m)) != m");
+        prop_assert_eq!(
+            back.unwrap().encode_bytes(),
+            bytes,
+            "re-encode not byte-identical"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

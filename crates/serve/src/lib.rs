@@ -1,0 +1,48 @@
+//! Inference serving engine (`gbdt-serve`).
+//!
+//! Training is half of a production GBDT system; this crate is the other
+//! half — scoring trained ensembles at high request rates. Following
+//! *A Comparison of Decision Forest Inference Platforms from A Database
+//! Perspective*, inference is framed as a query-execution problem:
+//!
+//! * [`compile`] lowers a [`gbdt_core::model::GbdtModel`] into a
+//!   [`CompiledEnsemble`] — every tree flattened breadth-first into a
+//!   contiguous array of 16-byte [`compile::FlatNode`]s (packed
+//!   feature/default-direction, threshold, child offset, leaf payload),
+//!   with leaf values pooled separately and leaves compiled as
+//!   self-looping nodes so traversal needs no `is_leaf` branch.
+//! * [`exec`] provides two interchangeable execution strategies behind
+//!   one trait: per-row traversal with 4-way tree interleaving
+//!   ([`exec::PerRow`]) and blocked batch evaluation ([`exec::Blocked`])
+//!   that streams row tiles through L1-resident tree blocks — the
+//!   database-style strategy whose win/loss crossover against per-row
+//!   moves with batch size and tree count.
+//! * [`server`] runs a request loop over the `gbdt-cluster` byte-message
+//!   fabric with atomic model hot-swap ([`server::ModelSlot`]): a trainer
+//!   publishes [`GbdtModel::encode_bytes`] payloads and in-flight traffic
+//!   only ever observes fully the old or fully the new version.
+//! * [`traffic`] is an open-loop synthetic load generator (configurable
+//!   QPS, coordinated-omission-aware latency) reporting p50/p99/p999 and
+//!   throughput through [`stats::ServeRun`].
+//!
+//! Every strategy is bit-identical to [`GbdtModel::predict_row_into`]:
+//! scores accumulate in ascending tree order from the same init scores,
+//! so the f64 addition sequence — and therefore every output bit — is
+//! unchanged. `tests/serve_equivalence.rs` pins this across all seven
+//! trainers and Vero.
+//!
+//! [`GbdtModel::encode_bytes`]: gbdt_core::model::GbdtModel::encode_bytes
+//! [`GbdtModel::predict_row_into`]: gbdt_core::model::GbdtModel::predict_row_into
+
+pub mod compile;
+pub mod exec;
+pub mod server;
+pub mod stats;
+pub mod traffic;
+pub mod wire;
+
+pub use compile::CompiledEnsemble;
+pub use exec::{Blocked, ExecStrategy, PerRow, Strategy};
+pub use server::{serve, ModelSlot, ServerStats};
+pub use stats::ServeRun;
+pub use traffic::{run_traffic, TrafficConfig};

@@ -1,0 +1,223 @@
+//! Wire framing for the serving protocol.
+//!
+//! Three frame kinds flow over the `gbdt-cluster` fabric, each on its own
+//! registered tag (`gbdt_cluster::comm::protocol::SERVE_*`): prediction
+//! requests (client → server), prediction responses / publish acks
+//! (server → client), and model publishes (trainer → server, carrying a
+//! [`GbdtModel::encode_bytes`] payload). All fields are little-endian;
+//! decoding returns `Err` on any framing violation rather than panicking —
+//! a malformed request must never take the server down.
+//!
+//! [`GbdtModel::encode_bytes`]: gbdt_core::model::GbdtModel::encode_bytes
+
+/// A batch of dense rows to score. `NaN` cells mean *missing*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictRequest {
+    /// Client-chosen id echoed in the response.
+    pub req_id: u64,
+    /// Row width (must match the served model).
+    pub n_features: u32,
+    /// Row-major cells, `n_features` per row.
+    pub rows: Vec<f32>,
+}
+
+impl PredictRequest {
+    /// Rows in the batch.
+    pub fn n_rows(&self) -> usize {
+        if self.n_features == 0 {
+            0
+        } else {
+            self.rows.len() / self.n_features as usize
+        }
+    }
+
+    /// Encodes: `req_id · n_rows · n_features · f32 cells`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.rows.len() * 4);
+        out.extend_from_slice(&self.req_id.to_le_bytes());
+        out.extend_from_slice(&(self.n_rows() as u32).to_le_bytes());
+        out.extend_from_slice(&self.n_features.to_le_bytes());
+        for v in &self.rows {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes [`Self::encode`] output.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Cursor { bytes, pos: 0 };
+        let req_id = r.u64()?;
+        let n_rows = r.u32()? as usize;
+        let n_features = r.u32()?;
+        let n_cells = n_rows
+            .checked_mul(n_features as usize)
+            .ok_or_else(|| "request shape overflows".to_string())?;
+        let mut rows = Vec::with_capacity(n_cells.min(1 << 24));
+        for _ in 0..n_cells {
+            rows.push(r.f32()?);
+        }
+        r.finish()?;
+        Ok(PredictRequest { req_id, n_features, rows })
+    }
+}
+
+/// Raw scores for one request, stamped with the model version that
+/// produced them (the hot-swap tests assert versions are never torn).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictResponse {
+    /// Echo of [`PredictRequest::req_id`].
+    pub req_id: u64,
+    /// Version of the compiled ensemble that scored the batch.
+    pub version: u64,
+    /// Scores per row (C).
+    pub n_outputs: u32,
+    /// Row-major raw scores.
+    pub scores: Vec<f64>,
+}
+
+impl PredictResponse {
+    /// Encodes: `req_id · version · n_outputs · n_scores · f64 scores`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(28 + self.scores.len() * 8);
+        out.extend_from_slice(&self.req_id.to_le_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.n_outputs.to_le_bytes());
+        out.extend_from_slice(&(self.scores.len() as u32).to_le_bytes());
+        for v in &self.scores {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes [`Self::encode`] output.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Cursor { bytes, pos: 0 };
+        let req_id = r.u64()?;
+        let version = r.u64()?;
+        let n_outputs = r.u32()?;
+        let n_scores = r.u32()? as usize;
+        let mut scores = Vec::with_capacity(n_scores.min(1 << 24));
+        for _ in 0..n_scores {
+            scores.push(r.f64()?);
+        }
+        r.finish()?;
+        Ok(PredictResponse { req_id, version, n_outputs, scores })
+    }
+}
+
+/// Acknowledgement of a model publish: the version now being served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishAck {
+    /// The freshly published version.
+    pub version: u64,
+}
+
+impl PublishAck {
+    /// Encodes the 8-byte version.
+    pub fn encode(&self) -> Vec<u8> {
+        self.version.to_le_bytes().to_vec()
+    }
+
+    /// Decodes [`Self::encode`] output.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let arr: [u8; 8] =
+            bytes.try_into().map_err(|_| format!("publish ack is {} bytes, want 8", bytes.len()))?;
+        Ok(PublishAck { version: u64::from_le_bytes(arr) })
+    }
+}
+
+/// Bounds-checked little-endian cursor.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("truncated serve frame at byte {}", self.pos))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().map_err(|_| "u32".to_string())?))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().map_err(|_| "u64".to_string())?))
+    }
+
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().map_err(|_| "f32".to_string())?))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().map_err(|_| "f64".to_string())?))
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes in serve frame", self.bytes.len() - self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_including_nan() {
+        let req = PredictRequest {
+            req_id: 42,
+            n_features: 3,
+            rows: vec![1.0, f32::NAN, -2.5, 0.0, 7.0, f32::NAN],
+        };
+        assert_eq!(req.n_rows(), 2);
+        let back = PredictRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back.req_id, 42);
+        assert_eq!(back.n_features, 3);
+        // NaN != NaN, so compare bit patterns.
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back.rows), bits(&req.rows));
+    }
+
+    #[test]
+    fn response_and_ack_round_trip() {
+        let resp = PredictResponse {
+            req_id: 7,
+            version: 3,
+            n_outputs: 2,
+            scores: vec![0.25, -1.5, 3.75, 0.0],
+        };
+        assert_eq!(PredictResponse::decode(&resp.encode()).unwrap(), resp);
+        let ack = PublishAck { version: 11 };
+        assert_eq!(PublishAck::decode(&ack.encode()).unwrap(), ack);
+    }
+
+    #[test]
+    fn malformed_frames_error() {
+        let req = PredictRequest { req_id: 1, n_features: 2, rows: vec![1.0, 2.0] };
+        let bytes = req.encode();
+        for cut in 0..bytes.len() {
+            assert!(PredictRequest::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        let mut long = bytes;
+        long.push(0);
+        assert!(PredictRequest::decode(&long).is_err());
+        assert!(PublishAck::decode(&[1, 2, 3]).is_err());
+        // A shape whose cell count overflows must be rejected up front.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&1u64.to_le_bytes());
+        evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(PredictRequest::decode(&evil).is_err());
+    }
+}
