@@ -1,0 +1,14 @@
+//@ path: crates/cluster/src/comm.rs
+//@ expect: tag-registry
+// Known-bad: the two heartbeat directions sharing one frame tag. A ping
+// that decodes as a pong makes the router see its own probe as a healthy
+// reply — the replica group would never mark a dead replica Down. The
+// registry checker must flag the collision even though both constants are
+// registered in the right place with plausible names.
+
+pub mod protocol {
+    /// Health probe: router → replica.
+    pub const SERVE_HEALTH_PING_TAG: u64 = 0x7376_6870;
+    /// Health reply: replica → router — must NOT share the probe's value.
+    pub const SERVE_HEALTH_PONG_TAG: u64 = 0x7376_6870;
+}

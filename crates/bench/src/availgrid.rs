@@ -1,0 +1,422 @@
+//! Availability-grid benchmark: replicated serving under scripted chaos.
+//!
+//! The robustness analogue of [`crate::servegrid`]: a spec (JSON, see
+//! `benchgrids/avail.json`) names a synthetic ensemble shape, a replica
+//! group, and a list of **scenarios** — each a label plus an optional
+//! seeded fault spec in the `FaultPlan::parse` grammar (`seed:drop=…,
+//! tag=serve_route,…`). Every scenario runs the full replicated mesh
+//! ([`gbdt_serve::avail::run_avail`]): router, replicas, open-loop
+//! clients, bit-exact verification of every response against its stamped
+//! `(version, trees_scored)`.
+//!
+//! Two invariants are enforced at report-generation time, so a
+//! trajectory can never be written from a run that broke the PR's own
+//! contract:
+//!
+//! * `incorrect == 0` in **every** scenario — chaos may cost
+//!   availability, never correctness;
+//! * `availability ≥ min_availability` (spec-wide, overridable per
+//!   scenario) — the ISSUE's 99% floor for the chaos acceptance run.
+//!
+//! Each scenario also contributes a `cells` entry keyed
+//! `avail-<label>` with its verified-rows throughput, so
+//! [`crate::grid::compare_reports`] gates availability goodput exactly
+//! like serving and training cells. Latency percentiles and the
+//! clean-vs-chaos deltas are recorded informationally (queueing and
+//! recovery sleeps are not a core-speed effect).
+
+use crate::servegrid::synthetic_model;
+use gbdt_cluster::FaultPlan;
+use gbdt_serve::avail::{run_avail, AvailConfig, AvailOutcome};
+use gbdt_serve::exec::Strategy;
+use serde_json::{json, Value};
+
+/// One chaos scenario: a label, an optional fault spec, and optional
+/// overload knobs layered over the grid-wide defaults.
+#[derive(Debug, Clone)]
+pub struct AvailScenario {
+    /// Scenario label (cell key `avail-<label>`; `clean` is the baseline
+    /// the chaos deltas are computed against).
+    pub label: String,
+    /// Fault spec in the [`FaultPlan::parse`] grammar, or `None` for a
+    /// fault-free run. Validated at spec-parse time — an unknown tag
+    /// name or malformed clause rejects the whole grid before anything
+    /// runs.
+    pub faults: Option<String>,
+    /// Override of the grid-wide client count (overload scenarios).
+    pub n_clients: Option<usize>,
+    /// Router queue-cap override.
+    pub queue_cap: Option<usize>,
+    /// Router high-water override.
+    pub high_water: Option<usize>,
+    /// Degraded-mode tree budget override (0 = never degrade).
+    pub degrade_trees: Option<u32>,
+    /// Availability floor for this scenario; falls back to the
+    /// grid-wide `min_availability`.
+    pub min_availability: Option<f64>,
+}
+
+/// A parsed availability grid: ensemble + mesh shape plus the scenarios.
+#[derive(Debug, Clone)]
+pub struct AvailGridSpec {
+    /// Report name (`"benchmark"` field of the trajectory).
+    pub name: String,
+    /// Row width of the synthetic ensemble and client batches.
+    pub n_features: usize,
+    /// L — layers per tree of the synthetic models.
+    pub layers: usize,
+    /// Trees per synthetic model.
+    pub trees: usize,
+    /// Models in the publish sequence (`≥ 1`; models beyond the first
+    /// are hot-swapped mid-run through the router).
+    pub n_models: usize,
+    /// Seed for the synthetic models and client rows.
+    pub seed: u64,
+    /// Serving replicas behind the router.
+    pub n_replicas: usize,
+    /// Client ranks driving load (per scenario unless overridden).
+    pub n_clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Rows per request.
+    pub batch: usize,
+    /// Aggregate offered load, requests/second; 0 = open throttle.
+    pub qps: f64,
+    /// Execution strategy every replica runs.
+    pub strategy: Strategy,
+    /// The scenario axis.
+    pub scenarios: Vec<AvailScenario>,
+    /// Grid-wide availability floor (0 disables the gate).
+    pub min_availability: f64,
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Value::as_u64).ok_or(format!("avail grid spec needs integer '{key}'"))
+}
+
+fn opt_usize(v: &Value, key: &str) -> Option<usize> {
+    v.get(key).and_then(Value::as_u64).map(|n| n as usize)
+}
+
+impl AvailGridSpec {
+    /// Parses a spec from its JSON value. Every scenario's fault spec is
+    /// parsed through [`FaultPlan::parse`] here — the `tag=` grammar's
+    /// parse-time rejection means a typo'd tag name fails the whole grid
+    /// load, not a half-finished run.
+    pub fn from_value(v: &Value) -> Result<AvailGridSpec, String> {
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("avail grid spec needs string 'name'")?
+            .to_string();
+        let strategy = match v.get("strategy") {
+            None => Strategy::PerRow,
+            Some(s) => s
+                .as_str()
+                .ok_or("'strategy' must be a string")?
+                .parse::<Strategy>()?,
+        };
+        let scenarios = match v.get("scenarios") {
+            Some(Value::Array(items)) if !items.is_empty() => items
+                .iter()
+                .map(|s| {
+                    let label = s
+                        .get("label")
+                        .and_then(Value::as_str)
+                        .ok_or("every scenario needs string 'label'")?
+                        .to_string();
+                    let faults = match s.get("faults") {
+                        None | Some(Value::Null) => None,
+                        Some(f) => {
+                            let text = f.as_str().ok_or(format!(
+                                "scenario '{label}': 'faults' must be a spec string"
+                            ))?;
+                            FaultPlan::parse(text)
+                                .map_err(|e| format!("scenario '{label}': {e}"))?;
+                            Some(text.to_string())
+                        }
+                    };
+                    Ok(AvailScenario {
+                        label,
+                        faults,
+                        n_clients: opt_usize(s, "n_clients"),
+                        queue_cap: opt_usize(s, "queue_cap"),
+                        high_water: opt_usize(s, "high_water"),
+                        degrade_trees: s
+                            .get("degrade_trees")
+                            .and_then(Value::as_u64)
+                            .map(|n| n as u32),
+                        min_availability: s.get("min_availability").and_then(Value::as_f64),
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("avail grid spec needs non-empty array 'scenarios'".into()),
+        };
+        let spec = AvailGridSpec {
+            name,
+            n_features: req_u64(v, "n_features")? as usize,
+            layers: req_u64(v, "layers")? as usize,
+            trees: req_u64(v, "trees")? as usize,
+            n_models: v.get("n_models").and_then(Value::as_u64).unwrap_or(1) as usize,
+            seed: req_u64(v, "seed")?,
+            n_replicas: req_u64(v, "replicas")? as usize,
+            n_clients: req_u64(v, "clients")? as usize,
+            requests_per_client: req_u64(v, "requests_per_client")? as usize,
+            batch: req_u64(v, "batch")? as usize,
+            qps: v.get("qps").and_then(Value::as_f64).unwrap_or(0.0),
+            strategy,
+            scenarios,
+            min_availability: v
+                .get("min_availability")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+        };
+        if spec.n_models == 0 || spec.trees == 0 {
+            return Err("'n_models' and 'trees' must be positive".into());
+        }
+        if spec.n_replicas == 0 || spec.n_clients == 0 {
+            return Err("'replicas' and 'clients' must be positive".into());
+        }
+        if spec.batch == 0 || spec.requests_per_client == 0 {
+            return Err("'batch' and 'requests_per_client' must be positive".into());
+        }
+        Ok(spec)
+    }
+
+    /// Parses a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<AvailGridSpec, String> {
+        AvailGridSpec::from_value(
+            &serde_json::from_str::<Value>(text).map_err(|e| format!("{e:?}"))?,
+        )
+    }
+}
+
+fn scenario_config(spec: &AvailGridSpec, sc: &AvailScenario) -> AvailConfig {
+    let mut cfg = AvailConfig {
+        label: sc.label.clone(),
+        n_replicas: spec.n_replicas,
+        n_clients: sc.n_clients.unwrap_or(spec.n_clients),
+        requests_per_client: spec.requests_per_client,
+        batch: spec.batch,
+        qps: spec.qps,
+        strategy: spec.strategy,
+        seed: spec.seed,
+        ..AvailConfig::default()
+    };
+    if let Some(cap) = sc.queue_cap {
+        cfg.router.queue_cap = cap;
+    }
+    if let Some(hw) = sc.high_water {
+        cfg.router.high_water = hw;
+    }
+    if let Some(dt) = sc.degrade_trees {
+        cfg.router.degrade_trees = dt;
+    }
+    cfg
+}
+
+fn scenario_value(sc: &AvailScenario, outcome: &AvailOutcome) -> Value {
+    let run = &outcome.run;
+    json!({
+        "label": run.label,
+        "faults": sc.faults,
+        "n_replicas": run.n_replicas,
+        "n_clients": run.n_clients,
+        "target_qps": run.target_qps,
+        "requests": run.requests,
+        "served": run.served,
+        "degraded": run.degraded,
+        "shed": run.shed,
+        "failed": run.failed,
+        "failed_over": run.failed_over,
+        "hedges": run.hedges,
+        "retries": run.retries,
+        "recoveries": run.recoveries,
+        "duplicates_suppressed": run.duplicates_suppressed,
+        "incorrect": run.incorrect,
+        "availability": run.availability,
+        "goodput_rps": run.goodput_rps,
+        "versions_seen": run.versions_seen,
+        "wall_s": run.wall_s,
+        "p50_ms": run.p50_ms,
+        "p99_ms": run.p99_ms,
+        "p999_ms": run.p999_ms,
+        "replica_crashes": outcome.replicas.iter().map(|r| r.crashes).sum::<u64>(),
+        "replica_requests": outcome.replicas.iter().map(|r| r.requests).collect::<Vec<_>>(),
+    })
+}
+
+/// Runs every scenario of the availability grid and returns the
+/// trajectory report.
+///
+/// Panics when any scenario records an incorrect response or misses its
+/// availability floor — the same never-write-a-broken-trajectory policy
+/// as the serving grid's bit-identity assert.
+pub fn run_avail_grid(spec: &AvailGridSpec) -> Value {
+    let models: Vec<_> = (0..spec.n_models)
+        .map(|k| {
+            synthetic_model(
+                spec.seed ^ (k as u64) << 8,
+                spec.trees,
+                spec.layers,
+                spec.n_features,
+            )
+        })
+        .collect();
+    let mut cells: Vec<Value> = Vec::new();
+    let mut scenarios: Vec<Value> = Vec::new();
+    let mut clean_goodput = None;
+    let mut deltas: Vec<Value> = Vec::new();
+    for sc in &spec.scenarios {
+        let cfg = scenario_config(spec, sc);
+        let faults = sc
+            .faults
+            .as_deref()
+            .map(|text| FaultPlan::parse(text).unwrap_or_else(|e| panic!("{e}")));
+        let outcome = run_avail(&models, &cfg, faults)
+            .unwrap_or_else(|e| panic!("scenario '{}' failed: {e}", sc.label));
+        let run = &outcome.run;
+        assert_eq!(
+            run.incorrect, 0,
+            "scenario '{}' produced bit-inexact responses: {run:?}",
+            sc.label,
+        );
+        let floor = sc.min_availability.unwrap_or(spec.min_availability);
+        assert!(
+            run.availability >= floor,
+            "scenario '{}' availability {:.4} below the {floor:.4} floor: {run:?}",
+            sc.label,
+            run.availability,
+        );
+        // Verified rows per second: the goodput the regression gate
+        // tracks, in the same unit as the serving grid's cells.
+        cells.push(json!({
+            "strategy": format!("avail-{}", sc.label),
+            "batch": spec.batch,
+            "trees": spec.trees,
+            "rows_per_sec": run.goodput_rps * spec.batch as f64,
+        }));
+        if sc.faults.is_none() && clean_goodput.is_none() {
+            clean_goodput = Some((run.goodput_rps, run.p99_ms));
+        } else if let Some((clean_rps, clean_p99)) = clean_goodput {
+            if sc.faults.is_some() && clean_rps > 0.0 {
+                deltas.push(json!({
+                    "label": sc.label,
+                    "goodput_vs_clean": run.goodput_rps / clean_rps,
+                    "p99_ms_clean": clean_p99,
+                    "p99_ms_chaos": run.p99_ms,
+                    "availability": run.availability,
+                }));
+            }
+        }
+        scenarios.push(scenario_value(sc, &outcome));
+    }
+    json!({
+        "benchmark": spec.name,
+        "avail": {
+            "n_features": spec.n_features,
+            "layers": spec.layers,
+            "trees": spec.trees,
+            "n_models": spec.n_models,
+            "seed": spec.seed,
+            "replicas": spec.n_replicas,
+            "clients": spec.n_clients,
+            "requests_per_client": spec.requests_per_client,
+            "batch": spec.batch,
+            "strategy": spec.strategy.label(),
+            "min_availability": spec.min_availability,
+        },
+        "cells": cells,
+        "scenarios": scenarios,
+        "chaos_vs_clean": deltas,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::compare_reports;
+
+    const SPEC: &str = r#"{
+        "name": "avail-unit",
+        "n_features": 6,
+        "layers": 3,
+        "trees": 8,
+        "n_models": 2,
+        "seed": 17,
+        "replicas": 2,
+        "clients": 2,
+        "requests_per_client": 30,
+        "batch": 4,
+        "strategy": "blocked",
+        "min_availability": 0.99,
+        "scenarios": [
+            {"label": "clean"},
+            {"label": "lossy", "faults": "9:drop=0.04,dup=0.04,tag=serve_route,tag=serve_reply"}
+        ]
+    }"#;
+
+    #[test]
+    fn spec_parses() {
+        let spec = AvailGridSpec::from_json(SPEC).unwrap();
+        assert_eq!(spec.name, "avail-unit");
+        assert_eq!(spec.n_models, 2);
+        assert_eq!(spec.strategy, Strategy::Blocked(0));
+        assert_eq!(spec.scenarios.len(), 2);
+        assert_eq!(spec.scenarios[0].label, "clean");
+        assert!(spec.scenarios[0].faults.is_none());
+        assert!(spec.scenarios[1].faults.as_deref().unwrap().contains("drop"));
+        assert_eq!(spec.min_availability, 0.99);
+    }
+
+    #[test]
+    fn spec_rejects_garbage_and_bad_fault_grammar() {
+        assert!(AvailGridSpec::from_json("{").is_err());
+        assert!(AvailGridSpec::from_json(r#"{"name": "x"}"#).is_err());
+        // A typo'd tag name is rejected at parse time, before anything runs.
+        let bad_tag = SPEC.replace("tag=serve_reply", "tag=serve_replyy");
+        let err = AvailGridSpec::from_json(&bad_tag).unwrap_err();
+        assert!(err.contains("lossy") && err.contains("serve_replyy"), "{err}");
+        let bad_clause = SPEC.replace("drop=0.04", "drop=oops");
+        assert!(AvailGridSpec::from_json(&bad_clause).is_err());
+        let no_scenarios = SPEC.replace("\"scenarios\"", "\"scenes\"");
+        assert!(AvailGridSpec::from_json(&no_scenarios).unwrap_err().contains("scenarios"));
+    }
+
+    #[test]
+    fn avail_grid_runs_gates_and_self_compares() {
+        let spec = AvailGridSpec::from_json(SPEC).unwrap();
+        let report = run_avail_grid(&spec);
+        let cells = report.get("cells").and_then(Value::as_array).unwrap();
+        assert_eq!(cells.len(), 2);
+        for cell in cells {
+            assert!(cell.get("rows_per_sec").and_then(Value::as_f64).unwrap() > 0.0);
+        }
+        let scenarios = report.get("scenarios").and_then(Value::as_array).unwrap();
+        assert_eq!(scenarios.len(), 2);
+        for s in scenarios {
+            assert_eq!(s.get("incorrect").and_then(Value::as_u64), Some(0));
+            assert!(s.get("availability").and_then(Value::as_f64).unwrap() >= 0.99);
+            // Both versions of the publish sequence were served.
+            assert_eq!(s.get("versions_seen").unwrap(), &json!([1, 2]));
+        }
+        // The chaos delta section pairs the lossy scenario with clean.
+        let deltas = report.get("chaos_vs_clean").and_then(Value::as_array).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert!(deltas[0].get("goodput_vs_clean").and_then(Value::as_f64).unwrap() > 0.0);
+        // The regression gate indexes availability cells and passes
+        // against itself.
+        let cmp = compare_reports(&report, &report, 0.10).unwrap();
+        assert!(cmp.compared >= 2);
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the")]
+    fn impossible_availability_floor_fires() {
+        let mut spec = AvailGridSpec::from_json(SPEC).unwrap();
+        spec.scenarios.truncate(1);
+        spec.scenarios[0].min_availability = Some(2.0);
+        run_avail_grid(&spec);
+    }
+}

@@ -18,6 +18,7 @@
 //! the reproduction target, recorded in `EXPERIMENTS.md`.
 
 pub mod args;
+pub mod availgrid;
 pub mod datasets;
 pub mod endtoend;
 pub mod grid;

@@ -56,6 +56,14 @@ pub const CONTROL_FROM: u32 = u32::MAX;
 /// cancellation was never delivered.
 pub const RECV_PATIENCE: Duration = Duration::from_secs(30);
 
+/// Default bound on the out-of-order pending buffer. Every message that
+/// arrives while a `recv`/`recv_any` waits for something else is parked
+/// here; a slow consumer under a dup-heavy fault plan would otherwise grow
+/// it without limit. Overflow surfaces as
+/// [`CommError::PendingOverflow`] and is counted in
+/// [`CommCounters::pending_overflows`].
+pub const PENDING_CAP: usize = 4096;
+
 /// Communication counters folded into [`crate::stats::WorkerStats`] after a run.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct CommCounters {
@@ -77,6 +85,8 @@ pub struct CommCounters {
     pub retries: u64,
     /// Duplicated deliveries detected and discarded by the receiver.
     pub duplicates_dropped: u64,
+    /// Times the bounded pending buffer refused a message (backpressure).
+    pub pending_overflows: u64,
 }
 
 /// A worker's endpoint into the in-process fabric.
@@ -97,6 +107,7 @@ pub struct Comm {
     send_seq: RefCell<Vec<u64>>,
     cancel: Arc<AtomicBool>,
     recv_patience: Cell<Duration>,
+    pending_cap: Cell<usize>,
 }
 
 /// Supervisor-side handle onto a mesh: retains a sender for every rank so a
@@ -167,6 +178,7 @@ impl Comm {
                 send_seq: RefCell::new(vec![0; world]),
                 cancel: Arc::clone(&cancel),
                 recv_patience: Cell::new(RECV_PATIENCE),
+                pending_cap: Cell::new(PENDING_CAP),
             })
             .collect();
         (comms, MeshControl { senders, cancel })
@@ -192,9 +204,38 @@ impl Comm {
         self.faults.as_ref()
     }
 
-    /// Overrides the receive deadline (tests exercise short timeouts).
+    /// Overrides the receive deadline (tests exercise short timeouts; the
+    /// serving router runs its event loop on a short tick).
     pub fn set_recv_patience(&self, patience: Duration) {
         self.recv_patience.set(patience);
+    }
+
+    /// Overrides the pending-buffer bound (tests exercise tiny caps).
+    pub fn set_pending_cap(&self, cap: usize) {
+        self.pending_cap.set(cap.max(1));
+    }
+
+    /// Parks an out-of-order envelope, honoring the pending bound.
+    fn buffer_pending(&self, envelope: Envelope) -> Result<(), CommError> {
+        let mut pending = self.pending.borrow_mut();
+        let cap = self.pending_cap.get();
+        if pending.len() >= cap {
+            drop(pending);
+            self.counters.borrow_mut().pending_overflows += 1;
+            return Err(CommError::PendingOverflow { capacity: cap });
+        }
+        pending.push(envelope);
+        Ok(())
+    }
+
+    /// Discards every buffered and queued message without accounting —
+    /// the serving plane's crash simulation: a process that dies loses
+    /// whatever was parked in its socket buffers. The duplicate-detection
+    /// seen-set survives (like a transport-persisted sequence cache), so
+    /// post-recovery duplicate suppression still works.
+    pub fn purge_pending(&self) {
+        self.pending.borrow_mut().clear();
+        while self.receiver.try_recv().is_ok() {}
     }
 
     fn next_seq(&self, to: usize) -> u64 {
@@ -213,13 +254,9 @@ impl Comm {
         }
         let seq = self.next_seq(to);
         if to == self.rank {
-            // Loopback: free, reliable, delivered immediately.
-            self.pending.borrow_mut().push(Envelope {
-                from: self.rank as u32,
-                tag,
-                seq,
-                payload,
-            });
+            // Loopback: free, reliable, delivered immediately (but still
+            // subject to the pending bound — loopback backpressure too).
+            self.buffer_pending(Envelope { from: self.rank as u32, tag, seq, payload })?;
             return Ok(());
         }
         let len = payload.len();
@@ -329,7 +366,7 @@ impl Comm {
                 self.account_recv(from, envelope.payload.len());
                 return Ok(envelope.payload);
             }
-            self.pending.borrow_mut().push(envelope);
+            self.buffer_pending(envelope)?;
         }
     }
 
@@ -377,7 +414,7 @@ impl Comm {
                 self.account_recv(envelope.from as usize, envelope.payload.len());
                 return Ok((envelope.from as usize, envelope.tag, envelope.payload));
             }
-            self.pending.borrow_mut().push(envelope);
+            self.buffer_pending(envelope)?;
         }
     }
 
@@ -435,6 +472,7 @@ impl Comm {
         stats.wire_f64_bytes += c.wire_f64_bytes;
         stats.retries += c.retries;
         stats.duplicates_dropped += c.duplicates_dropped;
+        stats.pending_overflows += c.pending_overflows;
     }
 }
 
@@ -473,6 +511,70 @@ pub mod protocol {
     /// Serving shutdown: client → server, drains after the client's last
     /// request (the server exits once every client has said stop).
     pub const SERVE_STOP_TAG: u64 = 0x7376_7374; // "svst"
+
+    /// Routed prediction request: router → replica, the client's request
+    /// re-framed under a router-assigned routing id (plus a degraded-mode
+    /// tree budget when the replica's queue is past the high-water mark).
+    pub const SERVE_ROUTE_TAG: u64 = 0x7376_7275; // "svru"
+
+    /// Replica reply: replica → router, scores for one routed request
+    /// (routing id, version, mode, scores); the router rewrites the id and
+    /// forwards to the owning client.
+    pub const SERVE_REPLY_TAG: u64 = 0x7376_7279; // "svry"
+
+    /// Publish application ack: replica → router, the version a replica
+    /// just compiled and swapped in (the router tracks per-replica applied
+    /// versions; a stale or failed apply acks version 0).
+    pub const SERVE_ACK_TAG: u64 = 0x7376_616b; // "svak"
+
+    /// Crash-recovery resync: replica → router, sent when a replica comes
+    /// back from a (simulated) crash and needs the current model; answered
+    /// with a versioned publish frame on [`SERVE_PUBLISH_TAG`].
+    pub const SERVE_RECOVER_TAG: u64 = 0x7376_7263; // "svrc"
+
+    /// Health probe: router → replica, an empty heartbeat frame; a live
+    /// replica answers on [`SERVE_HEALTH_PONG_TAG`].
+    pub const SERVE_HEALTH_PING_TAG: u64 = 0x7376_6870; // "svhp"
+
+    /// Health reply: replica → router, carrying the replica's currently
+    /// served model version.
+    pub const SERVE_HEALTH_PONG_TAG: u64 = 0x7376_6871; // "svhq"
+
+    /// Resolves a human-readable tag name (the `tag=` grammar of
+    /// [`crate::fault::FaultPlan::parse`]) to its registered id.
+    pub fn by_name(name: &str) -> Option<u64> {
+        match name {
+            "repartition" => Some(REPARTITION_A2A_TAG),
+            "serve_request" => Some(SERVE_REQUEST_TAG),
+            "serve_response" => Some(SERVE_RESPONSE_TAG),
+            "serve_publish" => Some(SERVE_PUBLISH_TAG),
+            "serve_stop" => Some(SERVE_STOP_TAG),
+            "serve_route" => Some(SERVE_ROUTE_TAG),
+            "serve_reply" => Some(SERVE_REPLY_TAG),
+            "serve_ack" => Some(SERVE_ACK_TAG),
+            "serve_recover" => Some(SERVE_RECOVER_TAG),
+            "health_ping" => Some(SERVE_HEALTH_PING_TAG),
+            "health_pong" => Some(SERVE_HEALTH_PONG_TAG),
+            _ => None,
+        }
+    }
+
+    /// Every name [`by_name`] resolves, for error messages and docs.
+    pub fn known_names() -> Vec<&'static str> {
+        vec![
+            "repartition",
+            "serve_request",
+            "serve_response",
+            "serve_publish",
+            "serve_stop",
+            "serve_route",
+            "serve_reply",
+            "serve_ack",
+            "serve_recover",
+            "health_ping",
+            "health_pong",
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -508,6 +610,44 @@ mod tests {
         // Nothing left: recv_any times out with a typed error.
         server.set_recv_patience(std::time::Duration::from_millis(10));
         assert!(matches!(server.recv_any(&[11, 22]), Err(CommError::Timeout { .. })));
+    }
+
+    #[test]
+    fn pending_buffer_is_bounded() {
+        let mesh = Comm::mesh(2, NetworkCostModel::infinite());
+        let (a, b) = (&mesh[0], &mesh[1]);
+        b.set_pending_cap(4);
+        // Flood with frames on a tag the receiver is not asking for: each one
+        // lands in the pending buffer until the bound trips.
+        for i in 0..6u64 {
+            a.send(1, 99, Bytes::from(vec![i as u8])).unwrap();
+        }
+        b.set_recv_patience(std::time::Duration::from_millis(50));
+        let err = b.recv(0, 77).unwrap_err();
+        assert!(
+            matches!(err, CommError::PendingOverflow { capacity: 4 }),
+            "expected PendingOverflow, got {err:?}"
+        );
+        assert_eq!(b.counters().pending_overflows, 1);
+        // The buffered (non-overflowing) frames are still deliverable.
+        assert_eq!(&b.recv(0, 99).unwrap()[..], &[0u8]);
+        // Overflow folds into worker stats.
+        let mut stats = crate::stats::WorkerStats::default();
+        b.fold_into(&mut stats);
+        assert_eq!(stats.pending_overflows, 1);
+    }
+
+    #[test]
+    fn purge_pending_discards_buffered_and_queued_frames() {
+        let mesh = Comm::mesh(2, NetworkCostModel::infinite());
+        let (a, b) = (&mesh[0], &mesh[1]);
+        a.send(1, 5, Bytes::from_static(b"buffered")).unwrap();
+        // Pull tag 5 into the pending buffer by asking for a different tag.
+        b.set_recv_patience(std::time::Duration::from_millis(10));
+        assert!(matches!(b.recv(0, 6), Err(CommError::Timeout { .. })));
+        a.send(1, 5, Bytes::from_static(b"queued")).unwrap();
+        b.purge_pending();
+        assert!(matches!(b.recv(0, 5), Err(CommError::Timeout { .. })));
     }
 
     #[test]

@@ -38,6 +38,14 @@ pub enum CommError {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// The endpoint's out-of-order pending buffer is full: a slow consumer
+    /// (or a dup-heavy fault plan) has buffered more unconsumed messages
+    /// than the bound allows. Backpressure must surface as an error, not
+    /// as unbounded memory growth.
+    PendingOverflow {
+        /// The configured buffer capacity that was exceeded.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -50,6 +58,9 @@ impl std::fmt::Display for CommError {
             CommError::PeerGone { to } => write!(f, "peer endpoint {to} is gone"),
             CommError::RetriesExhausted { to, tag, attempts } => {
                 write!(f, "send to rank {to} tag {tag} dropped {attempts} times; giving up")
+            }
+            CommError::PendingOverflow { capacity } => {
+                write!(f, "pending message buffer overflowed its {capacity}-message bound")
             }
         }
     }
@@ -74,6 +85,8 @@ pub struct InjectedCrash {
 pub const MAX_CRASHES: usize = 4;
 /// Maximum straggler entries per plan.
 pub const MAX_SLOW: usize = 4;
+/// Maximum tag-scope entries per plan (fixed so the plan stays `Copy`).
+pub const FAULT_SCOPE_CAP: usize = 8;
 
 /// A scheduled worker crash at a `(tree, layer)` boundary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,6 +117,10 @@ pub struct FaultPlan {
     pub max_attempts: u32,
     crashes: [Option<CrashPoint>; MAX_CRASHES],
     slow: [Option<(u16, f32)>; MAX_SLOW],
+    /// When any entry is set, drop/dup/delay decisions fire only for
+    /// messages whose tag is listed here (`tag=` in the spec grammar);
+    /// crash and slow entries are unaffected. Empty = every tag.
+    tag_scope: [Option<u64>; FAULT_SCOPE_CAP],
 }
 
 impl Default for FaultPlan {
@@ -137,6 +154,7 @@ impl FaultPlan {
             max_attempts: 12,
             crashes: [None; MAX_CRASHES],
             slow: [None; MAX_SLOW],
+            tag_scope: [None; FAULT_SCOPE_CAP],
         }
     }
 
@@ -191,6 +209,42 @@ impl FaultPlan {
         self
     }
 
+    /// Restricts drop/dup/delay decisions to messages carrying `tag`
+    /// (repeatable up to [`FAULT_SCOPE_CAP`] tags). Panics if the table is
+    /// full; re-adding a tag already in scope is a no-op.
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        if self.tag_scope.iter().flatten().any(|&t| t == tag) {
+            return self;
+        }
+        let slot = self
+            .tag_scope
+            .iter_mut()
+            .find(|t| t.is_none())
+            // lint: allow(panic-call) — plan-construction misuse is a test-setup bug, not a comm fault
+            .unwrap_or_else(|| panic!("fault plan scopes at most {FAULT_SCOPE_CAP} tags"));
+        *slot = Some(tag);
+        self
+    }
+
+    /// Whether drop/dup/delay decisions apply to messages carrying `tag`:
+    /// true when the scope table is empty (no `tag=` items — every tag) or
+    /// when `tag` is listed.
+    pub fn targets_tag(&self, tag: u64) -> bool {
+        let mut any = false;
+        for t in self.tag_scope.iter().flatten() {
+            if *t == tag {
+                return true;
+            }
+            any = true;
+        }
+        !any
+    }
+
+    /// The scoped tags, in insertion order (empty = every tag).
+    pub fn tag_scope(&self) -> impl Iterator<Item = u64> + '_ {
+        self.tag_scope.iter().flatten().copied()
+    }
+
     /// Whether the plan can actually inject anything.
     pub fn is_active(&self) -> bool {
         self.drop_p > 0.0
@@ -214,6 +268,19 @@ impl FaultPlan {
         })
     }
 
+    /// Serving-plane crash poll: whether a crash is scheduled for `rank` at
+    /// frame ordinal `handled` (the number of serve frames the replica has
+    /// handled so far, cumulative across recoveries so each crash point
+    /// fires exactly once). The serve plane reads `crash=R@K` as "crash
+    /// replica R before handling its K-th frame"; the layer field is
+    /// ignored there — serving has no tree/layer boundaries.
+    pub fn serve_crash_at(&self, rank: usize, handled: usize) -> bool {
+        self.crashes
+            .iter()
+            .flatten()
+            .any(|c| c.rank as usize == rank && c.tree as usize == handled)
+    }
+
     /// Straggler multiplier for `rank` (1.0 when not slowed).
     pub fn slow_factor(&self, rank: usize) -> f64 {
         self.slow
@@ -235,18 +302,24 @@ impl FaultPlan {
 
     /// Whether attempt `attempt` of this message is dropped.
     pub fn should_drop(&self, from: usize, to: usize, tag: u64, seq: u64, attempt: u32) -> bool {
-        self.drop_p > 0.0 && self.unit(KIND_DROP, from, to, tag, seq, attempt) < self.drop_p
+        self.drop_p > 0.0
+            && self.targets_tag(tag)
+            && self.unit(KIND_DROP, from, to, tag, seq, attempt) < self.drop_p
     }
 
     /// Whether the delivered message is duplicated.
     pub fn should_dup(&self, from: usize, to: usize, tag: u64, seq: u64, attempt: u32) -> bool {
-        self.dup_p > 0.0 && self.unit(KIND_DUP, from, to, tag, seq, attempt) < self.dup_p
+        self.dup_p > 0.0
+            && self.targets_tag(tag)
+            && self.unit(KIND_DUP, from, to, tag, seq, attempt) < self.dup_p
     }
 
     /// Modelled delay seconds charged to the delivered message (0.0 when no
     /// delay fires).
     pub fn delay_for(&self, from: usize, to: usize, tag: u64, seq: u64, attempt: u32) -> f64 {
-        if self.delay_p > 0.0 && self.unit(KIND_DELAY, from, to, tag, seq, attempt) < self.delay_p
+        if self.delay_p > 0.0
+            && self.targets_tag(tag)
+            && self.unit(KIND_DELAY, from, to, tag, seq, attempt) < self.delay_p
         {
             self.delay_s
         } else {
@@ -255,13 +328,17 @@ impl FaultPlan {
     }
 
     /// Parses a `seed:spec` string, e.g.
-    /// `42:drop=0.05,dup=0.02,delay=0.1@0.001,crash=1@3.1,slow=2@4.0`.
+    /// `42:drop=0.05,dup=0.02,delay=0.1@0.001,crash=1@3.1,slow=2@4.0,tag=serve_route`.
     ///
     /// Grammar: the part before the first `:` is the u64 seed; the rest is a
     /// comma-separated list of `drop=P`, `dup=P`, `delay=P@SECONDS`,
-    /// `crash=RANK@TREE[.LAYER]` (layer defaults to 1 — mid-tree),
-    /// `slow=RANK@FACTOR`, and `attempts=N`. An empty spec after the seed is
-    /// allowed (a plan that injects nothing).
+    /// `crash=RANK@TREE[.LAYER]` (layer defaults to 1 — mid-tree; the serve
+    /// plane reads TREE as a frame ordinal, see [`FaultPlan::serve_crash_at`]),
+    /// `slow=RANK@FACTOR`, `attempts=N`, and `tag=<name|id>` (repeatable)
+    /// which scopes drop/dup/delay to the named protocol tags. Tag names
+    /// resolve through [`crate::comm::protocol::by_name`] — an unknown name
+    /// is a parse error; a raw id is accepted as decimal or `0x`-hex. An
+    /// empty spec after the seed is allowed (a plan that injects nothing).
     pub fn parse(text: &str) -> Result<FaultPlan, String> {
         let (seed_str, spec) = text
             .split_once(':')
@@ -317,6 +394,29 @@ impl FaultPlan {
                         .parse()
                         .map_err(|e| format!("bad attempts '{value}': {e}"))?;
                     plan.max_attempts = plan.max_attempts.max(1);
+                }
+                "tag" => {
+                    let tag = match crate::comm::protocol::by_name(value) {
+                        Some(tag) => tag,
+                        None => {
+                            let parsed = match value.strip_prefix("0x") {
+                                Some(hex) => u64::from_str_radix(&hex.replace('_', ""), 16).ok(),
+                                None => value.parse::<u64>().ok(),
+                            };
+                            parsed.ok_or_else(|| {
+                                format!(
+                                    "unknown tag '{value}' (known names: {})",
+                                    crate::comm::protocol::known_names().join(", ")
+                                )
+                            })?
+                        }
+                    };
+                    if plan.tag_scope.iter().flatten().count() == FAULT_SCOPE_CAP
+                        && !plan.tag_scope.iter().flatten().any(|&t| t == tag)
+                    {
+                        return Err(format!("at most {FAULT_SCOPE_CAP} tag= items per plan"));
+                    }
+                    plan = plan.with_tag(tag);
                 }
                 other => return Err(format!("unknown fault key '{other}'")),
             }
@@ -403,6 +503,80 @@ mod tests {
         assert!(FaultPlan::parse("1:bogus=1").is_err());
         assert!(FaultPlan::parse("1:delay=0.1").is_err());
         assert!(FaultPlan::parse("1:crash=0").is_err());
+    }
+
+    #[test]
+    fn tag_scope_confines_drop_dup_delay() {
+        let scoped = FaultPlan::new(7).with_drop(1.0).with_dup(1.0).with_tag(5).with_tag(9);
+        let open = FaultPlan::new(7).with_drop(1.0).with_dup(1.0);
+        assert!(scoped.targets_tag(5) && scoped.targets_tag(9));
+        assert!(!scoped.targets_tag(6));
+        assert!(open.targets_tag(6), "empty scope means every tag");
+        // Scoped tags draw exactly the decisions the open plan draws.
+        for seq in 0..100u64 {
+            assert!(scoped.should_drop(0, 1, 5, seq, 0));
+            assert!(!scoped.should_drop(0, 1, 6, seq, 0), "off-scope tag must be untouched");
+            assert!(!scoped.should_dup(0, 1, 6, seq, 0));
+            assert_eq!(
+                scoped.should_drop(0, 1, 9, seq, 0),
+                open.should_drop(0, 1, 9, seq, 0),
+                "scoping must not change the in-scope dice"
+            );
+        }
+        let delayed = FaultPlan::new(3).with_delay(1.0, 0.5).with_tag(2);
+        assert_eq!(delayed.delay_for(0, 1, 2, 0, 0), 0.5);
+        assert_eq!(delayed.delay_for(0, 1, 3, 0, 0), 0.0);
+        // Re-adding an in-scope tag is a no-op, not a second slot.
+        assert_eq!(scoped.tag_scope().count(), 2);
+        assert_eq!(scoped.with_tag(5).tag_scope().count(), 2);
+    }
+
+    #[test]
+    fn parse_tag_scope_names_and_ids() {
+        let plan = FaultPlan::parse("1:drop=0.5,tag=serve_route,tag=serve_reply").unwrap();
+        let scoped: Vec<u64> = plan.tag_scope().collect();
+        assert_eq!(
+            scoped,
+            vec![
+                crate::comm::protocol::SERVE_ROUTE_TAG,
+                crate::comm::protocol::SERVE_REPLY_TAG
+            ]
+        );
+        // Raw ids in decimal and hex.
+        let by_id = FaultPlan::parse("1:tag=42,tag=0x7376_7271").unwrap();
+        let scoped: Vec<u64> = by_id.tag_scope().collect();
+        assert_eq!(scoped, vec![42, crate::comm::protocol::SERVE_REQUEST_TAG]);
+        // Every registered name parses.
+        for name in crate::comm::protocol::known_names() {
+            let spec = format!("1:tag={name}");
+            assert!(FaultPlan::parse(&spec).is_ok(), "registered name {name} must parse");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_tag_names() {
+        let err = FaultPlan::parse("1:tag=serve_requets").unwrap_err();
+        assert!(err.contains("unknown tag"), "{err}");
+        assert!(err.contains("serve_request"), "error must list known names: {err}");
+        assert!(FaultPlan::parse("1:tag=").is_err());
+        assert!(FaultPlan::parse("1:tag=0xzz").is_err());
+        // Scope table overflow is a parse error, not a panic.
+        let overflow = format!(
+            "1:{}",
+            (0..=FAULT_SCOPE_CAP).map(|i| format!("tag={i}")).collect::<Vec<_>>().join(",")
+        );
+        assert!(FaultPlan::parse(&overflow).unwrap_err().contains("at most"));
+    }
+
+    #[test]
+    fn serve_crash_at_matches_frame_ordinal() {
+        let plan = FaultPlan::parse("1:crash=2@7").unwrap();
+        assert!(plan.serve_crash_at(2, 7));
+        assert!(!plan.serve_crash_at(2, 6));
+        assert!(!plan.serve_crash_at(1, 7));
+        // Layer is ignored on the serve plane.
+        let deep = FaultPlan::parse("1:crash=0@3.2").unwrap();
+        assert!(deep.serve_crash_at(0, 3));
     }
 
     #[test]

@@ -105,6 +105,8 @@ pub struct WorkerStats {
     pub retries: u64,
     /// Duplicated deliveries detected and discarded.
     pub duplicates_dropped: u64,
+    /// Pending-buffer overflows hit by an out-of-order consumer.
+    pub pending_overflows: u64,
 }
 
 impl WorkerStats {
@@ -188,6 +190,7 @@ impl WorkerStats {
         }
         self.retries += other.retries;
         self.duplicates_dropped += other.duplicates_dropped;
+        self.pending_overflows += other.pending_overflows;
     }
 }
 
@@ -232,6 +235,11 @@ impl ClusterStats {
     /// Total duplicated deliveries discarded across the cluster.
     pub fn total_duplicates_dropped(&self) -> u64 {
         self.workers.iter().map(|w| w.duplicates_dropped).sum()
+    }
+
+    /// Total pending-buffer overflows across the cluster.
+    pub fn total_pending_overflows(&self) -> u64 {
+        self.workers.iter().map(|w| w.pending_overflows).sum()
     }
 
     /// Largest per-worker data storage.

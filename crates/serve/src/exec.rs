@@ -59,7 +59,22 @@ pub trait ExecStrategy {
     /// Scores `rows` (row-major, `rows.len() / ens.n_features` rows of
     /// width `ens.n_features`) into `out` (row-major,
     /// `n_rows × ens.n_outputs`, fully overwritten).
-    fn predict_into(&self, ens: &CompiledEnsemble, rows: &[f32], out: &mut [f64]);
+    fn predict_into(&self, ens: &CompiledEnsemble, rows: &[f32], out: &mut [f64]) {
+        self.predict_prefix_into(ens, rows, usize::MAX, out);
+    }
+
+    /// Like [`Self::predict_into`] but scores only the first
+    /// `max_trees.min(n_trees)` trees — the degraded-mode prefix. Because
+    /// every strategy accumulates in ascending tree order, a `k`-tree
+    /// prefix is bit-identical to scoring a model truncated to its first
+    /// `k` trees; `usize::MAX` (or anything ≥ `n_trees`) is a full score.
+    fn predict_prefix_into(
+        &self,
+        ens: &CompiledEnsemble,
+        rows: &[f32],
+        max_trees: usize,
+        out: &mut [f64],
+    );
 }
 
 fn check_shapes(ens: &CompiledEnsemble, rows: &[f32], out: &[f64]) -> usize {
@@ -82,9 +97,15 @@ impl ExecStrategy for PerRow {
         "per-row".into()
     }
 
-    fn predict_into(&self, ens: &CompiledEnsemble, rows: &[f32], out: &mut [f64]) {
+    fn predict_prefix_into(
+        &self,
+        ens: &CompiledEnsemble,
+        rows: &[f32],
+        max_trees: usize,
+        out: &mut [f64],
+    ) {
         let n_rows = check_shapes(ens, rows, out);
-        let n_trees = ens.n_trees();
+        let n_trees = ens.n_trees().min(max_trees);
         for r in 0..n_rows {
             let row = &rows[r * ens.n_features..(r + 1) * ens.n_features];
             let o = &mut out[r * ens.n_outputs..(r + 1) * ens.n_outputs];
@@ -162,8 +183,15 @@ impl ExecStrategy for Blocked {
         }
     }
 
-    fn predict_into(&self, ens: &CompiledEnsemble, rows: &[f32], out: &mut [f64]) {
+    fn predict_prefix_into(
+        &self,
+        ens: &CompiledEnsemble,
+        rows: &[f32],
+        max_trees: usize,
+        out: &mut [f64],
+    ) {
         let n_rows = check_shapes(ens, rows, out);
+        let limit = ens.n_trees().min(max_trees);
         for o in out.chunks_exact_mut(ens.n_outputs) {
             o.copy_from_slice(&ens.init_scores);
         }
@@ -175,10 +203,13 @@ impl ExecStrategy for Blocked {
             // row's accumulation order is ascending tree order — the same
             // f64 addition sequence as the per-row strategy.
             for &(bs, be) in &blocks {
+                if bs >= limit {
+                    break;
+                }
                 for r in tile_start..tile_end {
                     let row = &rows[r * ens.n_features..(r + 1) * ens.n_features];
                     let o = &mut out[r * ens.n_outputs..(r + 1) * ens.n_outputs];
-                    for t in bs..be {
+                    for t in bs..be.min(limit) {
                         let mut idx = 0u32;
                         for _ in 0..ens.tree_steps[t] {
                             idx = step(&ens.nodes, ens.tree_off[t], idx, row);
@@ -383,6 +414,29 @@ mod tests {
                     .zip(&got)
                     .all(|(a, b)| a.to_bits() == b.to_bits());
                 assert!(same, "{} diverged (seed {seed}, T {n_trees}, C {c})", strategy.label());
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_scoring_matches_truncated_model() {
+        for (seed, n_trees, c) in [(11u64, 10usize, 1usize), (12, 25, 3)] {
+            let n_features = 7;
+            let model = random_model(seed, n_trees, n_features, c);
+            let ens = compile(&model, 0).unwrap();
+            let rows = random_rows(seed ^ 0x5150, 53, n_features);
+            for k in [0usize, 1, 3, n_trees - 1, n_trees, n_trees + 5] {
+                // Reference: a model truncated to its first k trees.
+                let mut truncated = model.clone();
+                truncated.trees.truncate(k);
+                let expect = reference(&truncated, &rows, n_features);
+                for strategy in [Strategy::PerRow, Strategy::Blocked(0), Strategy::Blocked(4)] {
+                    let mut got = vec![0.0f64; expect.len()];
+                    strategy.executor().predict_prefix_into(&ens, &rows, k, &mut got);
+                    let same =
+                        expect.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(same, "{} prefix k={k} diverged (seed {seed})", strategy.label());
+                }
             }
         }
     }

@@ -25,6 +25,18 @@
 //!   QPS, coordinated-omission-aware latency) reporting p50/p99/p999 and
 //!   throughput through [`stats::ServeRun`].
 //!
+//! The serving plane also runs **replicated** ([`router`], [`replica`],
+//! [`avail`]): rank 0 routes client requests over a group of replica
+//! ranks with per-request deadlines, bounded retries, one hedged backup
+//! after a p99-derived delay (duplicates suppressed by routing id),
+//! typed load-shedding over bounded inflight queues, optional
+//! degraded-mode tree-prefix scoring past the high-water mark, and
+//! heartbeat-driven failover with crash recovery + resync. The
+//! availability harness ([`avail::run_avail`]) ledgers every request as
+//! served / degraded / shed / failed under a seeded
+//! [`FaultPlan`](gbdt_cluster::FaultPlan) and verifies each response
+//! bit-exactly against its stamped `(version, trees_scored)`.
+//!
 //! Every strategy is bit-identical to [`GbdtModel::predict_row_into`]:
 //! scores accumulate in ascending tree order from the same init scores,
 //! so the f64 addition sequence — and therefore every output bit — is
@@ -34,15 +46,21 @@
 //! [`GbdtModel::encode_bytes`]: gbdt_core::model::GbdtModel::encode_bytes
 //! [`GbdtModel::predict_row_into`]: gbdt_core::model::GbdtModel::predict_row_into
 
+pub mod avail;
 pub mod compile;
 pub mod exec;
+pub mod replica;
+pub mod router;
 pub mod server;
 pub mod stats;
 pub mod traffic;
 pub mod wire;
 
+pub use avail::{run_avail, AvailConfig};
 pub use compile::CompiledEnsemble;
 pub use exec::{Blocked, ExecStrategy, PerRow, Strategy};
+pub use replica::{run_replica, ReplicaConfig, ReplicaStats, ROUTER_RANK};
+pub use router::{run_router, RouterConfig, RouterStats};
 pub use server::{serve, ModelSlot, ServerStats};
-pub use stats::ServeRun;
+pub use stats::{AvailRun, ServeRun};
 pub use traffic::{run_traffic, TrafficConfig};

@@ -1,0 +1,277 @@
+//! One serving replica in a replicated group.
+//!
+//! A replica rank holds the compiled ensemble in a [`ModelSlot`] and
+//! answers frames from the router (never directly from clients): routed
+//! prediction requests, router-versioned model publishes
+//! ([`PublishFrame`]), health pings, and stop. Crashes come from the
+//! mesh's [`FaultPlan`]: before handling each frame the loop polls
+//! [`FaultPlan::serve_crash_at`] against its cumulative frame ordinal,
+//! and a hit unwinds the loop as [`ReplicaExit::Crashed`]. The
+//! supervising wrapper ([`run_replica`]) then simulates the process
+//! dying and restarting — it sleeps the recovery delay, **purges** every
+//! queued and buffered frame (a dead process loses its socket buffers),
+//! announces itself on `SERVE_RECOVER_TAG`, and reseats whatever model
+//! the router sends back before rejoining the group. Versions are always
+//! router-assigned, so a replica that slept through a publish can never
+//! stamp a response with a version that means something different on a
+//! sibling replica.
+//!
+//! [`FaultPlan`]: gbdt_cluster::FaultPlan
+//! [`FaultPlan::serve_crash_at`]: gbdt_cluster::FaultPlan::serve_crash_at
+
+use crate::exec::ExecStrategy;
+use crate::server::{score_request, ModelSlot};
+use crate::wire::{PredictRequest, PublishFrame};
+use bytes::Bytes;
+use gbdt_cluster::comm::protocol::{
+    SERVE_ACK_TAG, SERVE_HEALTH_PING_TAG, SERVE_HEALTH_PONG_TAG, SERVE_PUBLISH_TAG,
+    SERVE_RECOVER_TAG, SERVE_REPLY_TAG, SERVE_ROUTE_TAG, SERVE_STOP_TAG,
+};
+use gbdt_cluster::{Comm, CommError};
+use std::time::Duration;
+
+/// Rank of the router in a replicated serving mesh.
+pub const ROUTER_RANK: usize = 0;
+
+/// Knobs of one replica's lifecycle.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaConfig {
+    /// How long a crashed replica stays dead before recovering (real
+    /// time — the router must observe the outage).
+    pub recovery_delay: Duration,
+    /// Receive patience per poll of the frame loop.
+    pub tick: Duration,
+    /// Give up recovering if the router doesn't resync a model within
+    /// this many ticks (the run is ending or the router is gone).
+    pub max_resync_ticks: usize,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            recovery_delay: Duration::from_millis(30),
+            tick: Duration::from_millis(5),
+            max_resync_ticks: 400,
+        }
+    }
+}
+
+/// What one replica session handled (accumulated across crash cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicaStats {
+    /// Routed requests scored and answered.
+    pub requests: u64,
+    /// Rows scored.
+    pub rows: u64,
+    /// Requests answered from a degraded tree-prefix budget.
+    pub degraded: u64,
+    /// Model publishes applied (stale ones are skipped, not counted).
+    pub publishes: u64,
+    /// Publish frames skipped as stale (version ≤ served).
+    pub stale_publishes: u64,
+    /// Injected crashes survived.
+    pub crashes: u64,
+    /// Frames that failed to decode.
+    pub malformed: u64,
+    /// Replies/acks/pongs that could not be sent (lossy plan exhausted
+    /// the retry budget); the router's deadline machinery covers these.
+    pub send_failures: u64,
+    /// Version being served when the loop exited.
+    pub last_version: u64,
+}
+
+/// Why the inner frame loop returned.
+enum LoopExit {
+    /// Router said stop; the session is over.
+    Stopped,
+    /// An injected crash fired; the wrapper should run recovery.
+    Crashed,
+}
+
+/// Answers `payload` frames until a stop or an injected crash.
+///
+/// `frames_handled` is the replica's cumulative frame ordinal across
+/// crash cycles; [`FaultPlan::serve_crash_at`] is polled against it
+/// before each frame so a `crash=R@K` plan entry fires exactly once.
+///
+/// [`FaultPlan::serve_crash_at`]: gbdt_cluster::FaultPlan::serve_crash_at
+fn replica_loop(
+    comm: &Comm,
+    slot: &ModelSlot,
+    strategy: &dyn ExecStrategy,
+    cfg: &ReplicaConfig,
+    stats: &mut ReplicaStats,
+    frames_handled: &mut usize,
+) -> Result<LoopExit, CommError> {
+    let tags =
+        [SERVE_ROUTE_TAG, SERVE_PUBLISH_TAG, SERVE_HEALTH_PING_TAG, SERVE_STOP_TAG];
+    comm.set_recv_patience(cfg.tick);
+    loop {
+        let (from, tag, payload) = match comm.recv_any(&tags) {
+            Ok(frame) => frame,
+            Err(CommError::Timeout { .. }) => continue,
+            Err(e) => return Err(e),
+        };
+        if from != ROUTER_RANK {
+            // Replicas only talk to the router; a stray client frame is a
+            // protocol bug upstream, not this replica's problem.
+            stats.malformed += 1;
+            continue;
+        }
+        if let Some(plan) = comm.faults() {
+            if plan.serve_crash_at(comm.rank(), *frames_handled) {
+                // Count the fatal frame so this crash point never re-fires
+                // after recovery (the frame itself is lost with the purge).
+                *frames_handled += 1;
+                stats.crashes += 1;
+                return Ok(LoopExit::Crashed);
+            }
+        }
+        *frames_handled += 1;
+        match tag {
+            SERVE_STOP_TAG => return Ok(LoopExit::Stopped),
+            SERVE_HEALTH_PING_TAG => {
+                let pong = slot.version().to_le_bytes().to_vec();
+                if comm.send(from, SERVE_HEALTH_PONG_TAG, Bytes::from(pong)).is_err() {
+                    stats.send_failures += 1;
+                }
+            }
+            SERVE_ROUTE_TAG => match PredictRequest::decode(&payload) {
+                Ok(req) => {
+                    let ens = slot.load();
+                    let response = score_request(&ens, strategy, &req);
+                    stats.requests += 1;
+                    stats.rows += req.n_rows() as u64;
+                    if response.trees_scored > 0 {
+                        stats.degraded += 1;
+                    }
+                    if comm
+                        .send(from, SERVE_REPLY_TAG, Bytes::from(response.encode()))
+                        .is_err()
+                    {
+                        stats.send_failures += 1;
+                    }
+                }
+                Err(_) => stats.malformed += 1,
+            },
+            _ => {
+                // SERVE_PUBLISH_TAG
+                match PublishFrame::decode(&payload) {
+                    Ok(frame) => match apply_publish(slot, &frame) {
+                        Ok(applied) => {
+                            if applied {
+                                stats.publishes += 1;
+                            } else {
+                                stats.stale_publishes += 1;
+                            }
+                            let ack = slot.version().to_le_bytes().to_vec();
+                            if comm.send(from, SERVE_ACK_TAG, Bytes::from(ack)).is_err() {
+                                stats.send_failures += 1;
+                            }
+                        }
+                        Err(_) => stats.malformed += 1,
+                    },
+                    Err(_) => stats.malformed += 1,
+                }
+            }
+        }
+    }
+}
+
+/// Seats a router-versioned publish; `Ok(false)` means it was stale
+/// (version ≤ served — a delayed or re-sent frame) and was skipped.
+fn apply_publish(slot: &ModelSlot, frame: &PublishFrame) -> Result<bool, String> {
+    if frame.version <= slot.version() {
+        return Ok(false);
+    }
+    let model = gbdt_core::model::GbdtModel::decode_bytes(&frame.model_bytes)?;
+    slot.publish_versioned(&model, frame.version)?;
+    Ok(true)
+}
+
+/// Runs one replica for the whole session, supervising crash cycles.
+///
+/// Returns the accumulated stats when the router stops the group, or the
+/// first unrecoverable comm error.
+pub fn run_replica(
+    comm: &Comm,
+    slot: &ModelSlot,
+    strategy: &dyn ExecStrategy,
+    cfg: &ReplicaConfig,
+) -> Result<ReplicaStats, CommError> {
+    let mut stats = ReplicaStats::default();
+    let mut frames_handled = 0usize;
+    loop {
+        match replica_loop(comm, slot, strategy, cfg, &mut stats, &mut frames_handled)? {
+            LoopExit::Stopped => {
+                stats.last_version = slot.version();
+                return Ok(stats);
+            }
+            LoopExit::Crashed => {
+                // Dead: whatever was parked in our buffers dies with us.
+                std::thread::sleep(cfg.recovery_delay);
+                comm.purge_pending();
+                // Rejoin: announce, then wait for the router to resync the
+                // current model (it may already be ours if the crash hit
+                // after the last publish was applied — that frame comes
+                // back stale and is skipped). The announcement is re-sent
+                // periodically in case a lossy plan ate it.
+                let mut resynced = false;
+                for tick in 0..cfg.max_resync_ticks {
+                    if tick % 50 == 0 {
+                        match comm.send(ROUTER_RANK, SERVE_RECOVER_TAG, Bytes::new()) {
+                            Ok(()) => {}
+                            Err(CommError::PeerGone { .. }) => {
+                                // The router is gone (session torn down
+                                // mid-recovery); nothing left to rejoin.
+                                stats.last_version = slot.version();
+                                return Ok(stats);
+                            }
+                            Err(_) => stats.send_failures += 1,
+                        }
+                    }
+                    match comm.recv_any(&[SERVE_PUBLISH_TAG, SERVE_STOP_TAG]) {
+                        Ok((from, tag, payload)) if from == ROUTER_RANK => {
+                            if tag == SERVE_STOP_TAG {
+                                stats.last_version = slot.version();
+                                return Ok(stats);
+                            }
+                            frames_handled += 1;
+                            match PublishFrame::decode(&payload) {
+                                Ok(frame) => {
+                                    match apply_publish(slot, &frame) {
+                                        Ok(true) => stats.publishes += 1,
+                                        Ok(false) => stats.stale_publishes += 1,
+                                        Err(_) => {
+                                            stats.malformed += 1;
+                                            continue;
+                                        }
+                                    }
+                                    let ack = slot.version().to_le_bytes().to_vec();
+                                    if comm
+                                        .send(ROUTER_RANK, SERVE_ACK_TAG, Bytes::from(ack))
+                                        .is_err()
+                                    {
+                                        stats.send_failures += 1;
+                                    }
+                                    resynced = true;
+                                    break;
+                                }
+                                Err(_) => stats.malformed += 1,
+                            }
+                        }
+                        Ok(_) => stats.malformed += 1,
+                        Err(CommError::Timeout { .. }) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                if !resynced {
+                    // The router never resynced us — the session is likely
+                    // over; exit cleanly with what we have.
+                    stats.last_version = slot.version();
+                    return Ok(stats);
+                }
+            }
+        }
+    }
+}

@@ -14,7 +14,7 @@
 
 use crate::compile::{compile, CompiledEnsemble};
 use crate::exec::ExecStrategy;
-use crate::wire::{PredictRequest, PredictResponse, PublishAck};
+use crate::wire::{PredictRequest, PredictResponse, PublishAck, ReplyStatus};
 use bytes::Bytes;
 use gbdt_cluster::comm::protocol::{
     SERVE_PUBLISH_TAG, SERVE_REQUEST_TAG, SERVE_RESPONSE_TAG, SERVE_STOP_TAG,
@@ -48,7 +48,14 @@ fn read_slot(lock: &RwLock<Arc<CompiledEnsemble>>) -> Arc<CompiledEnsemble> {
 impl ModelSlot {
     /// Compiles `model` as version 1 and seats it in the slot.
     pub fn new(model: &GbdtModel) -> Result<Self, String> {
-        Ok(ModelSlot { current: RwLock::new(Arc::new(compile(model, 1)?)) })
+        Self::new_versioned(model, 1)
+    }
+
+    /// Compiles `model` under an externally assigned version (replicated
+    /// serving: the router owns version numbers so every replica stamps
+    /// the same version for the same model).
+    pub fn new_versioned(model: &GbdtModel, version: u64) -> Result<Self, String> {
+        Ok(ModelSlot { current: RwLock::new(Arc::new(compile(model, version)?)) })
     }
 
     /// Snapshot of the currently served ensemble.
@@ -64,14 +71,60 @@ impl ModelSlot {
     /// Compiles `model` as the next version and atomically swaps it in;
     /// returns the new version. On a compile error the slot is untouched.
     pub fn publish(&self, model: &GbdtModel) -> Result<u64, String> {
-        let next_version = self.version() + 1;
-        let compiled = Arc::new(compile(model, next_version)?);
+        self.publish_versioned(model, self.version() + 1)
+    }
+
+    /// Compiles `model` under an externally assigned version and swaps it
+    /// in. A version at or below the currently served one is stale (a
+    /// delayed or duplicated publish frame) and is rejected without
+    /// touching the slot, so replicas can never move backwards.
+    pub fn publish_versioned(&self, model: &GbdtModel, version: u64) -> Result<u64, String> {
+        let current = self.version();
+        if version <= current {
+            return Err(format!("stale publish: version {version} ≤ served {current}"));
+        }
+        let compiled = Arc::new(compile(model, version)?);
         let mut guard = match self.current.write() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         };
+        // Re-check under the lock: a racing publish may have won.
+        if version <= guard.version {
+            return Err(format!("stale publish: version {version} ≤ served {}", guard.version));
+        }
         *guard = compiled;
-        Ok(next_version)
+        Ok(version)
+    }
+}
+
+/// Scores one decoded request against an ensemble snapshot, honoring the
+/// degraded-mode tree budget (`max_trees = 0` scores the full ensemble).
+/// The response stamps `(version, trees_scored)` — the exact deterministic
+/// function that produced the scores — or `Malformed` on a shape mismatch.
+pub fn score_request(
+    ens: &CompiledEnsemble,
+    strategy: &dyn ExecStrategy,
+    req: &PredictRequest,
+) -> PredictResponse {
+    if req.n_features as usize != ens.n_features {
+        return PredictResponse::refusal(req.req_id, ReplyStatus::Malformed);
+    }
+    let budget = req.max_trees as usize;
+    let (limit, trees_scored) = if budget == 0 || budget >= ens.n_trees() {
+        (usize::MAX, 0u32)
+    } else {
+        (budget, budget as u32)
+    };
+    let n_rows = req.n_rows();
+    let mut scores = vec![0.0f64; n_rows * ens.n_outputs];
+    strategy.predict_prefix_into(ens, &req.rows, limit, &mut scores);
+    PredictResponse {
+        req_id: req.req_id,
+        version: ens.version,
+        status: ReplyStatus::Ok,
+        trees_scored,
+        n_outputs: ens.n_outputs as u32,
+        scores,
     }
 }
 
@@ -115,31 +168,19 @@ pub fn serve(
         } else if tag == SERVE_REQUEST_TAG {
             let ens = slot.load();
             let response = match PredictRequest::decode(&payload) {
-                Ok(req) if req.n_features as usize == ens.n_features => {
-                    let n_rows = req.n_rows();
-                    let mut scores = vec![0.0f64; n_rows * ens.n_outputs];
-                    strategy.predict_into(&ens, &req.rows, &mut scores);
-                    stats.requests += 1;
-                    stats.rows += n_rows as u64;
-                    PredictResponse {
-                        req_id: req.req_id,
-                        version: ens.version,
-                        n_outputs: ens.n_outputs as u32,
-                        scores,
-                    }
-                }
                 Ok(req) => {
-                    stats.malformed += 1;
-                    PredictResponse {
-                        req_id: req.req_id,
-                        version: 0,
-                        n_outputs: 0,
-                        scores: Vec::new(),
+                    let response = score_request(&ens, strategy, &req);
+                    if response.status == ReplyStatus::Ok {
+                        stats.requests += 1;
+                        stats.rows += req.n_rows() as u64;
+                    } else {
+                        stats.malformed += 1;
                     }
+                    response
                 }
                 Err(_) => {
                     stats.malformed += 1;
-                    PredictResponse { req_id: 0, version: 0, n_outputs: 0, scores: Vec::new() }
+                    PredictResponse::refusal(0, ReplyStatus::Malformed)
                 }
             };
             comm.send(from, SERVE_RESPONSE_TAG, Bytes::from(response.encode()))?;
@@ -193,8 +234,12 @@ mod tests {
             let slot = &slot;
             let server = scope.spawn(move || serve(&server_comm, slot, &PerRow, 1).unwrap());
 
-            let req =
-                PredictRequest { req_id: 9, n_features: 2, rows: vec![0.0, 0.0, 1.0, 0.0] };
+            let req = PredictRequest {
+                req_id: 9,
+                n_features: 2,
+                max_trees: 0,
+                rows: vec![0.0, 0.0, 1.0, 0.0],
+            };
             client_comm.send(0, SERVE_REQUEST_TAG, Bytes::from(req.encode())).unwrap();
             let resp =
                 PredictResponse::decode(&client_comm.recv(0, SERVE_RESPONSE_TAG).unwrap())
@@ -223,6 +268,7 @@ mod tests {
                 PredictResponse::decode(&client_comm.recv(0, SERVE_RESPONSE_TAG).unwrap())
                     .unwrap();
             assert_eq!(err.version, 0);
+            assert_eq!(err.status, ReplyStatus::Malformed);
 
             client_comm.send(0, SERVE_STOP_TAG, Bytes::new()).unwrap();
             let stats = server.join().unwrap();
@@ -250,5 +296,9 @@ mod tests {
         broken.init_scores.clear();
         assert!(slot.publish(&broken).is_err());
         assert_eq!(slot.version(), 2);
+        // Versioned publish: stale (≤ current) rejected, forward jumps land.
+        assert!(slot.publish_versioned(&stump_model(3.0, -3.0), 2).is_err());
+        assert_eq!(slot.publish_versioned(&stump_model(3.0, -3.0), 7).unwrap(), 7);
+        assert_eq!(slot.version(), 7);
     }
 }

@@ -160,6 +160,7 @@ fn client_loop(
         let req = PredictRequest {
             req_id: (client as u64) << 32 | i as u64,
             n_features: n_features as u32,
+            max_trees: 0,
             rows: rows.to_vec(),
         };
         if let Err(e) = comm.send(0, SERVE_REQUEST_TAG, Bytes::from(req.encode())) {

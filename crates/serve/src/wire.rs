@@ -10,6 +10,34 @@
 //!
 //! [`GbdtModel::encode_bytes`]: gbdt_core::model::GbdtModel::encode_bytes
 
+/// Outcome class of a [`PredictResponse`]. `Ok` responses carry scores;
+/// the rest carry an empty score vector and explain why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ReplyStatus {
+    /// Scored (fully, or as a degraded prefix when `trees_scored > 0`).
+    Ok = 0,
+    /// Load-shed: every replica's inflight queue was at capacity.
+    Shed = 1,
+    /// The retry/hedge budget ran out without a replica answering.
+    Failed = 2,
+    /// The request frame could not be decoded.
+    Malformed = 3,
+}
+
+impl ReplyStatus {
+    /// Decodes the wire byte.
+    pub fn from_u8(v: u8) -> Result<Self, String> {
+        match v {
+            0 => Ok(ReplyStatus::Ok),
+            1 => Ok(ReplyStatus::Shed),
+            2 => Ok(ReplyStatus::Failed),
+            3 => Ok(ReplyStatus::Malformed),
+            other => Err(format!("unknown reply status {other}")),
+        }
+    }
+}
+
 /// A batch of dense rows to score. `NaN` cells mean *missing*.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PredictRequest {
@@ -17,6 +45,10 @@ pub struct PredictRequest {
     pub req_id: u64,
     /// Row width (must match the served model).
     pub n_features: u32,
+    /// Degraded-mode tree budget: 0 scores the full ensemble, `k > 0`
+    /// scores only the first `k` trees per output (set by the router when
+    /// a replica is past its high-water mark, never by clients).
+    pub max_trees: u32,
     /// Row-major cells, `n_features` per row.
     pub rows: Vec<f32>,
 }
@@ -31,12 +63,13 @@ impl PredictRequest {
         }
     }
 
-    /// Encodes: `req_id · n_rows · n_features · f32 cells`.
+    /// Encodes: `req_id · n_rows · n_features · max_trees · f32 cells`.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + self.rows.len() * 4);
+        let mut out = Vec::with_capacity(20 + self.rows.len() * 4);
         out.extend_from_slice(&self.req_id.to_le_bytes());
         out.extend_from_slice(&(self.n_rows() as u32).to_le_bytes());
         out.extend_from_slice(&self.n_features.to_le_bytes());
+        out.extend_from_slice(&self.max_trees.to_le_bytes());
         for v in &self.rows {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -49,6 +82,7 @@ impl PredictRequest {
         let req_id = r.u64()?;
         let n_rows = r.u32()? as usize;
         let n_features = r.u32()?;
+        let max_trees = r.u32()?;
         let n_cells = n_rows
             .checked_mul(n_features as usize)
             .ok_or_else(|| "request shape overflows".to_string())?;
@@ -57,7 +91,7 @@ impl PredictRequest {
             rows.push(r.f32()?);
         }
         r.finish()?;
-        Ok(PredictRequest { req_id, n_features, rows })
+        Ok(PredictRequest { req_id, n_features, max_trees, rows })
     }
 }
 
@@ -69,6 +103,12 @@ pub struct PredictResponse {
     pub req_id: u64,
     /// Version of the compiled ensemble that scored the batch.
     pub version: u64,
+    /// How the request fared; scores are only present for [`ReplyStatus::Ok`].
+    pub status: ReplyStatus,
+    /// Trees scored per output: 0 means the full ensemble, `k > 0` means a
+    /// degraded `k`-tree prefix. Together with `version` this names the
+    /// exact deterministic function that produced `scores`.
+    pub trees_scored: u32,
     /// Scores per row (C).
     pub n_outputs: u32,
     /// Row-major raw scores.
@@ -76,11 +116,19 @@ pub struct PredictResponse {
 }
 
 impl PredictResponse {
-    /// Encodes: `req_id · version · n_outputs · n_scores · f64 scores`.
+    /// A scoreless reply carrying only an outcome (shed / failed / malformed).
+    pub fn refusal(req_id: u64, status: ReplyStatus) -> Self {
+        PredictResponse { req_id, version: 0, status, trees_scored: 0, n_outputs: 0, scores: Vec::new() }
+    }
+
+    /// Encodes: `req_id · version · status · trees_scored · n_outputs ·
+    /// n_scores · f64 scores`.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(28 + self.scores.len() * 8);
+        let mut out = Vec::with_capacity(33 + self.scores.len() * 8);
         out.extend_from_slice(&self.req_id.to_le_bytes());
         out.extend_from_slice(&self.version.to_le_bytes());
+        out.push(self.status as u8);
+        out.extend_from_slice(&self.trees_scored.to_le_bytes());
         out.extend_from_slice(&self.n_outputs.to_le_bytes());
         out.extend_from_slice(&(self.scores.len() as u32).to_le_bytes());
         for v in &self.scores {
@@ -94,6 +142,8 @@ impl PredictResponse {
         let mut r = Cursor { bytes, pos: 0 };
         let req_id = r.u64()?;
         let version = r.u64()?;
+        let status = ReplyStatus::from_u8(r.u8()?)?;
+        let trees_scored = r.u32()?;
         let n_outputs = r.u32()?;
         let n_scores = r.u32()? as usize;
         let mut scores = Vec::with_capacity(n_scores.min(1 << 24));
@@ -101,7 +151,7 @@ impl PredictResponse {
             scores.push(r.f64()?);
         }
         r.finish()?;
-        Ok(PredictResponse { req_id, version, n_outputs, scores })
+        Ok(PredictResponse { req_id, version, status, trees_scored, n_outputs, scores })
     }
 }
 
@@ -126,6 +176,40 @@ impl PublishAck {
     }
 }
 
+/// A model publish as the router re-broadcasts it to replicas: the router
+/// assigns the version so every replica in the group serves globally
+/// consistent version numbers even if one missed an earlier publish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishFrame {
+    /// Router-assigned version for this model.
+    pub version: u64,
+    /// [`GbdtModel::encode_bytes`] payload.
+    ///
+    /// [`GbdtModel::encode_bytes`]: gbdt_core::model::GbdtModel::encode_bytes
+    pub model_bytes: Vec<u8>,
+}
+
+impl PublishFrame {
+    /// Encodes: `version · n_bytes · model bytes`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.model_bytes.len());
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&(self.model_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.model_bytes);
+        out
+    }
+
+    /// Decodes [`Self::encode`] output.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Cursor { bytes, pos: 0 };
+        let version = r.u64()?;
+        let n_bytes = r.u64()? as usize;
+        let model_bytes = r.take(n_bytes)?.to_vec();
+        r.finish()?;
+        Ok(PublishFrame { version, model_bytes })
+    }
+}
+
 /// Bounds-checked little-endian cursor.
 struct Cursor<'a> {
     bytes: &'a [u8],
@@ -142,6 +226,10 @@ impl<'a> Cursor<'a> {
         let out = &self.bytes[self.pos..end];
         self.pos = end;
         Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
     }
 
     fn u32(&mut self) -> Result<u32, String> {
@@ -178,12 +266,14 @@ mod tests {
         let req = PredictRequest {
             req_id: 42,
             n_features: 3,
+            max_trees: 5,
             rows: vec![1.0, f32::NAN, -2.5, 0.0, 7.0, f32::NAN],
         };
         assert_eq!(req.n_rows(), 2);
         let back = PredictRequest::decode(&req.encode()).unwrap();
         assert_eq!(back.req_id, 42);
         assert_eq!(back.n_features, 3);
+        assert_eq!(back.max_trees, 5);
         // NaN != NaN, so compare bit patterns.
         let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&back.rows), bits(&req.rows));
@@ -194,17 +284,25 @@ mod tests {
         let resp = PredictResponse {
             req_id: 7,
             version: 3,
+            status: ReplyStatus::Ok,
+            trees_scored: 12,
             n_outputs: 2,
             scores: vec![0.25, -1.5, 3.75, 0.0],
         };
         assert_eq!(PredictResponse::decode(&resp.encode()).unwrap(), resp);
+        let shed = PredictResponse::refusal(9, ReplyStatus::Shed);
+        let back = PredictResponse::decode(&shed.encode()).unwrap();
+        assert_eq!(back.status, ReplyStatus::Shed);
+        assert!(back.scores.is_empty());
         let ack = PublishAck { version: 11 };
         assert_eq!(PublishAck::decode(&ack.encode()).unwrap(), ack);
+        let publish = PublishFrame { version: 4, model_bytes: vec![1, 2, 3, 4, 5] };
+        assert_eq!(PublishFrame::decode(&publish.encode()).unwrap(), publish);
     }
 
     #[test]
     fn malformed_frames_error() {
-        let req = PredictRequest { req_id: 1, n_features: 2, rows: vec![1.0, 2.0] };
+        let req = PredictRequest { req_id: 1, n_features: 2, max_trees: 0, rows: vec![1.0, 2.0] };
         let bytes = req.encode();
         for cut in 0..bytes.len() {
             assert!(PredictRequest::decode(&bytes[..cut]).is_err(), "cut={cut}");
@@ -218,6 +316,29 @@ mod tests {
         evil.extend_from_slice(&1u64.to_le_bytes());
         evil.extend_from_slice(&u32::MAX.to_le_bytes());
         evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        evil.extend_from_slice(&0u32.to_le_bytes());
         assert!(PredictRequest::decode(&evil).is_err());
+        // Unknown reply status byte is rejected.
+        let resp = PredictResponse::refusal(1, ReplyStatus::Ok);
+        let mut tampered = resp.encode();
+        tampered[16] = 250;
+        assert!(PredictResponse::decode(&tampered).is_err());
+        // Truncated responses and publishes are rejected at every prefix.
+        let full = PredictResponse {
+            req_id: 2,
+            version: 1,
+            status: ReplyStatus::Ok,
+            trees_scored: 0,
+            n_outputs: 1,
+            scores: vec![0.5],
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(PredictResponse::decode(&full[..cut]).is_err(), "cut={cut}");
+        }
+        let pf = PublishFrame { version: 1, model_bytes: vec![9, 9] }.encode();
+        for cut in 0..pf.len() {
+            assert!(PublishFrame::decode(&pf[..cut]).is_err(), "cut={cut}");
+        }
     }
 }

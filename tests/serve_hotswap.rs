@@ -13,12 +13,14 @@
 //!    the main thread publishes repeatedly; every observed score must
 //!    equal exactly one version's expected output.
 
-use gbdt_cluster::Cluster;
+use gbdt_cluster::comm::protocol::{SERVE_PUBLISH_TAG, SERVE_ROUTE_TAG};
+use gbdt_cluster::{Cluster, FaultPlan};
 use gbdt_core::model::GbdtModel;
 use gbdt_core::TrainConfig;
 use gbdt_data::synthetic::SyntheticConfig;
 use gbdt_data::Dataset;
 use gbdt_quadrants::{qd2, Aggregation};
+use gbdt_serve::avail::{run_avail, AvailConfig};
 use gbdt_serve::exec::{PerRow, Strategy};
 use gbdt_serve::server::ModelSlot;
 use gbdt_serve::traffic::{run_traffic, TrafficConfig};
@@ -126,4 +128,60 @@ fn slot_snapshots_are_never_torn() {
         }
     });
     assert_eq!(slot.version(), models.len() as u64);
+}
+
+/// Hot-swap during failover (PR 8): new versions are published through
+/// the router while a crash plan keeps killing a replica mid-run, so at
+/// least one publish lands while a replica is dead or mid-recovery. The
+/// recovering replica is resynced by the router with the *current*
+/// version, and every response — before, during, and after the outage —
+/// must stay bit-exact for its stamped version. Versions are
+/// router-assigned, so a replica that slept through a publish can never
+/// stamp a reused version number on different bits.
+#[test]
+fn publish_during_crash_recovery_is_never_torn() {
+    let models = [trained(61, 4), trained(62, 4), trained(63, 6)];
+    // Crash replica 1 twice, spread across the run, with light loss on
+    // exactly the route/publish paths so recovery resyncs are exercised
+    // under an imperfect fabric too.
+    let plan = FaultPlan::new(0xB0B0)
+        .with_drop(0.03)
+        .with_crash(1, 25, 0)
+        .with_crash(1, 90, 0)
+        .with_tag(SERVE_ROUTE_TAG)
+        .with_tag(SERVE_PUBLISH_TAG);
+    let cfg = AvailConfig {
+        label: "swap-under-crash".into(),
+        n_replicas: 3,
+        n_clients: 3,
+        requests_per_client: 120,
+        batch: 8,
+        qps: 0.0,
+        strategy: Strategy::Blocked(0),
+        seed: 1177,
+        ..AvailConfig::default()
+    };
+    let outcome = run_avail(&models, &cfg, Some(plan)).unwrap();
+    let run = &outcome.run;
+    assert_eq!(run.incorrect, 0, "torn or mis-versioned response: {run:?}");
+    assert_eq!(
+        run.served + run.degraded + run.shed + run.failed,
+        run.requests,
+        "unaccounted requests: {run:?}"
+    );
+    assert!(run.availability >= 0.99, "availability {:.4}: {run:?}", run.availability);
+    // Both publishes were accepted and every version was actually served.
+    assert_eq!(outcome.router.publishes, 2, "{:?}", outcome.router);
+    assert_eq!(run.versions_seen, vec![1, 2, 3], "{run:?}");
+    // The crashes fired and the router resynced the replica each time.
+    let crashes: u64 = outcome.replicas.iter().map(|r| r.crashes).sum();
+    assert_eq!(crashes, 2, "{:?}", outcome.replicas);
+    assert!(outcome.router.recoveries >= 2, "{:?}", outcome.router);
+    // Resyncs/publishes reached the crashed replica: every replica ends
+    // the run serving the final version.
+    assert!(
+        outcome.replicas.iter().all(|r| r.last_version == 3),
+        "a replica ended stale: {:?}",
+        outcome.replicas
+    );
 }
