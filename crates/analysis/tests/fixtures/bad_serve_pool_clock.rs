@@ -1,0 +1,17 @@
+//@ path: crates/serve/src/pool.rs
+//@ expect: wall-clock
+// Known-bad: a wall-clock read inside the parallel-scoring pool. A clock
+// next to the chunk scheduler invites "adaptive" splitting — chunk sizes
+// that depend on observed timing would make the executor's output depend
+// on machine load, breaking the fixed-64-row-chunk determinism contract.
+// Only crates/serve/src/stats.rs may hold the serving stopwatch.
+
+use std::time::Instant;
+
+pub fn score_chunk_timed(rows: &[f32], out: &mut [f32]) -> f64 {
+    let t0 = Instant::now();
+    for (o, r) in out.iter_mut().zip(rows) {
+        *o = r * 2.0;
+    }
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,16 @@
+//@ path: crates/serve/src/pool.rs
+//@ expect: map-iteration
+// Known-bad: draining a HashMap of per-chunk results in hash order. The
+// pool must reassemble chunk outputs by fixed chunk index — concatenating
+// them in hash-iteration order would shuffle rows nondeterministically
+// and break bit-identity with the sequential executor.
+
+use std::collections::HashMap;
+
+pub fn gather_chunks(done: &mut HashMap<usize, Vec<f32>>) -> Vec<f32> {
+    let mut out = Vec::new();
+    for (_idx, chunk) in done.drain() {
+        out.extend(chunk);
+    }
+    out
+}

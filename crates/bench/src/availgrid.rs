@@ -28,7 +28,7 @@
 use crate::servegrid::synthetic_model;
 use gbdt_cluster::FaultPlan;
 use gbdt_serve::avail::{run_avail, AvailConfig, AvailOutcome};
-use gbdt_serve::exec::Strategy;
+use gbdt_serve::exec::{Layout, Strategy};
 use serde_json::{json, Value};
 
 /// One chaos scenario: a label, an optional fault spec, and optional
@@ -51,6 +51,9 @@ pub struct AvailScenario {
     pub high_water: Option<usize>,
     /// Degraded-mode tree budget override (0 = never degrade).
     pub degrade_trees: Option<u32>,
+    /// Scoring-thread override for this scenario's replicas; falls back
+    /// to the grid-wide `score_threads`.
+    pub score_threads: Option<usize>,
     /// Availability floor for this scenario; falls back to the
     /// grid-wide `min_availability`.
     pub min_availability: Option<f64>,
@@ -84,6 +87,11 @@ pub struct AvailGridSpec {
     pub qps: f64,
     /// Execution strategy every replica runs.
     pub strategy: Strategy,
+    /// Node layout every replica scores over.
+    pub layout: Layout,
+    /// Scoring threads inside each replica (per scenario unless
+    /// overridden; 1 = serial).
+    pub score_threads: usize,
     /// The scenario axis.
     pub scenarios: Vec<AvailScenario>,
     /// Grid-wide availability floor (0 disables the gate).
@@ -116,6 +124,13 @@ impl AvailGridSpec {
                 .ok_or("'strategy' must be a string")?
                 .parse::<Strategy>()?,
         };
+        let layout = match v.get("layout") {
+            None => Layout::Flat,
+            Some(l) => l
+                .as_str()
+                .ok_or("'layout' must be a string")?
+                .parse::<Layout>()?,
+        };
         let scenarios = match v.get("scenarios") {
             Some(Value::Array(items)) if !items.is_empty() => items
                 .iter()
@@ -146,6 +161,7 @@ impl AvailGridSpec {
                             .get("degrade_trees")
                             .and_then(Value::as_u64)
                             .map(|n| n as u32),
+                        score_threads: opt_usize(s, "score_threads"),
                         min_availability: s.get("min_availability").and_then(Value::as_f64),
                     })
                 })
@@ -165,6 +181,9 @@ impl AvailGridSpec {
             batch: req_u64(v, "batch")? as usize,
             qps: v.get("qps").and_then(Value::as_f64).unwrap_or(0.0),
             strategy,
+            layout,
+            score_threads: v.get("score_threads").and_then(Value::as_u64).unwrap_or(1)
+                as usize,
             scenarios,
             min_availability: v
                 .get("min_availability")
@@ -200,6 +219,8 @@ fn scenario_config(spec: &AvailGridSpec, sc: &AvailScenario) -> AvailConfig {
         batch: spec.batch,
         qps: spec.qps,
         strategy: spec.strategy,
+        layout: spec.layout,
+        score_threads: sc.score_threads.unwrap_or(spec.score_threads),
         seed: spec.seed,
         ..AvailConfig::default()
     };
@@ -324,6 +345,8 @@ pub fn run_avail_grid(spec: &AvailGridSpec) -> Value {
             "requests_per_client": spec.requests_per_client,
             "batch": spec.batch,
             "strategy": spec.strategy.label(),
+            "layout": spec.layout.label(),
+            "score_threads": spec.score_threads,
             "min_availability": spec.min_availability,
         },
         "cells": cells,
@@ -335,7 +358,7 @@ pub fn run_avail_grid(spec: &AvailGridSpec) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grid::compare_reports;
+    use crate::gate::compare_reports;
 
     const SPEC: &str = r#"{
         "name": "avail-unit",
@@ -356,6 +379,19 @@ mod tests {
         ]
     }"#;
 
+    /// SPEC re-pointed at the quantized layout with parallel replica
+    /// scoring, plus a per-scenario thread override.
+    fn quant_spec() -> String {
+        SPEC.replace(
+            "\"strategy\": \"blocked\",",
+            "\"strategy\": \"blocked\", \"layout\": \"quant\", \"score_threads\": 2,",
+        )
+        .replace(
+            "{\"label\": \"clean\"}",
+            "{\"label\": \"clean\", \"score_threads\": 1}",
+        )
+    }
+
     #[test]
     fn spec_parses() {
         let spec = AvailGridSpec::from_json(SPEC).unwrap();
@@ -367,6 +403,25 @@ mod tests {
         assert!(spec.scenarios[0].faults.is_none());
         assert!(spec.scenarios[1].faults.as_deref().unwrap().contains("drop"));
         assert_eq!(spec.min_availability, 0.99);
+        // Layout/threads default to serial flat scoring.
+        assert_eq!(spec.layout, Layout::Flat);
+        assert_eq!(spec.score_threads, 1);
+        assert_eq!(spec.scenarios[0].score_threads, None);
+    }
+
+    #[test]
+    fn spec_parses_layout_and_thread_overrides() {
+        let spec = AvailGridSpec::from_json(&quant_spec()).unwrap();
+        assert_eq!(spec.layout, Layout::Quant);
+        assert_eq!(spec.score_threads, 2);
+        assert_eq!(spec.scenarios[0].score_threads, Some(1));
+        assert_eq!(spec.scenarios[1].score_threads, None);
+        let cfg0 = scenario_config(&spec, &spec.scenarios[0]);
+        assert_eq!((cfg0.layout, cfg0.score_threads), (Layout::Quant, 1));
+        let cfg1 = scenario_config(&spec, &spec.scenarios[1]);
+        assert_eq!((cfg1.layout, cfg1.score_threads), (Layout::Quant, 2));
+        let bad = quant_spec().replace("\"quant\"", "\"packed\"");
+        assert!(AvailGridSpec::from_json(&bad).is_err());
     }
 
     #[test]

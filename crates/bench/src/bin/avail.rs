@@ -20,64 +20,20 @@
 //! panics rather than writing a trajectory that broke the contract);
 //! the baseline comparison only watches goodput.
 
-use gbdt_bench::args::Args;
 use gbdt_bench::availgrid::{run_avail_grid, AvailGridSpec};
-use gbdt_bench::grid::compare_reports;
-use gbdt_bench::output::write_trajectory;
-use serde_json::Value;
+use gbdt_bench::gate::gate_main;
 use std::process::ExitCode;
 
-fn read_json(path: &str) -> Value {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e:?}"))
-}
-
 fn main() -> ExitCode {
-    let args = Args::parse(&["grid", "out", "baseline", "candidate", "tolerance"], &[]);
-    let tolerance = args.get_or("tolerance", 0.10f64);
-
-    let candidate = match (args.get("grid"), args.get("candidate")) {
-        (Some(_), Some(_)) => panic!("--grid and --candidate are mutually exclusive"),
-        (None, None) => panic!("need --grid <spec.json> or --candidate <report.json>"),
-        (None, Some(path)) => read_json(path),
-        (Some(path), None) => {
-            let spec = AvailGridSpec::from_value(&read_json(path))
-                .unwrap_or_else(|e| panic!("bad avail grid spec {path}: {e}"));
-            println!(
-                "running avail grid '{}': {} scenario(s), {} replica(s)",
-                spec.name,
-                spec.scenarios.len(),
-                spec.n_replicas
-            );
-            let report = run_avail_grid(&spec);
-            if let Some(out) = args.get("out") {
-                write_trajectory(out, &report).unwrap();
-                println!("wrote {out}");
-            }
-            report
-        }
-    };
-
-    let Some(baseline_path) = args.get("baseline") else {
-        return ExitCode::SUCCESS;
-    };
-    let baseline = read_json(baseline_path);
-    let cmp = compare_reports(&baseline, &candidate, tolerance)
-        .unwrap_or_else(|e| panic!("comparison failed: {e}"));
-    println!(
-        "compared {} metrics against {baseline_path} (tolerance {:.0}%)",
-        cmp.compared,
-        tolerance * 100.0
-    );
-    if cmp.regressions.is_empty() {
-        println!("no regressions");
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("{} regression(s):", cmp.regressions.len());
-        for r in &cmp.regressions {
-            eprintln!("  REGRESSED {r}");
-        }
-        ExitCode::FAILURE
-    }
+    gate_main(|spec_json, path| {
+        let spec = AvailGridSpec::from_value(spec_json)
+            .unwrap_or_else(|e| panic!("bad avail grid spec {path}: {e}"));
+        println!(
+            "running avail grid '{}': {} scenario(s), {} replica(s)",
+            spec.name,
+            spec.scenarios.len(),
+            spec.n_replicas
+        );
+        run_avail_grid(&spec)
+    })
 }

@@ -3,10 +3,11 @@
 //! Modes (mirroring the `grid` binary):
 //!
 //! * **Run**: `serve --grid benchgrids/serve.json --out BENCH_PR7.json`
-//!   sweeps every cell of the spec (strategy × batch × trees), asserts
-//!   bit-identity of every compiled cell against the tree-walk reference,
-//!   enforces the spec's `min_blocked_speedup` gate, runs the fixed-seed
-//!   traffic pass, and writes the trajectory report.
+//!   sweeps every cell of the spec (strategy × layout × score_threads ×
+//!   batch × trees), asserts bit-identity of every compiled cell against
+//!   the tree-walk reference, enforces the spec's `min_blocked_speedup`
+//!   gate, runs the fixed-seed traffic pass, and writes the trajectory
+//!   report.
 //! * **Run + gate**: add `--baseline BENCH_PR7.json` to compare the fresh
 //!   run against a checked-in baseline; exits `1` when any cell regresses
 //!   by more than `--tolerance` (default `0.10`).
@@ -14,62 +15,18 @@
 //!   gates two existing reports without running anything.
 //!
 //! The gate compares machine-relative `*_rel` metrics whenever both
-//! reports carry them (see `gbdt_bench::grid`), so a slower machine
+//! reports carry them (see `gbdt_bench::gate`), so a slower machine
 //! doesn't read as a code regression.
 
-use gbdt_bench::args::Args;
-use gbdt_bench::grid::compare_reports;
-use gbdt_bench::output::write_trajectory;
+use gbdt_bench::gate::gate_main;
 use gbdt_bench::servegrid::{run_serve_grid, ServeGridSpec};
-use serde_json::Value;
 use std::process::ExitCode;
 
-fn read_json(path: &str) -> Value {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e:?}"))
-}
-
 fn main() -> ExitCode {
-    let args = Args::parse(&["grid", "out", "baseline", "candidate", "tolerance"], &[]);
-    let tolerance = args.get_or("tolerance", 0.10f64);
-
-    let candidate = match (args.get("grid"), args.get("candidate")) {
-        (Some(_), Some(_)) => panic!("--grid and --candidate are mutually exclusive"),
-        (None, None) => panic!("need --grid <spec.json> or --candidate <report.json>"),
-        (None, Some(path)) => read_json(path),
-        (Some(path), None) => {
-            let spec = ServeGridSpec::from_value(&read_json(path))
-                .unwrap_or_else(|e| panic!("bad serve grid spec {path}: {e}"));
-            println!("running serve grid '{}': {} cells", spec.name, spec.n_cells());
-            let report = run_serve_grid(&spec);
-            if let Some(out) = args.get("out") {
-                write_trajectory(out, &report).unwrap();
-                println!("wrote {out}");
-            }
-            report
-        }
-    };
-
-    let Some(baseline_path) = args.get("baseline") else {
-        return ExitCode::SUCCESS;
-    };
-    let baseline = read_json(baseline_path);
-    let cmp = compare_reports(&baseline, &candidate, tolerance)
-        .unwrap_or_else(|e| panic!("comparison failed: {e}"));
-    println!(
-        "compared {} metrics against {baseline_path} (tolerance {:.0}%)",
-        cmp.compared,
-        tolerance * 100.0
-    );
-    if cmp.regressions.is_empty() {
-        println!("no regressions");
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("{} regression(s):", cmp.regressions.len());
-        for r in &cmp.regressions {
-            eprintln!("  REGRESSED {r}");
-        }
-        ExitCode::FAILURE
-    }
+    gate_main(|spec_json, path| {
+        let spec = ServeGridSpec::from_value(spec_json)
+            .unwrap_or_else(|e| panic!("bad serve grid spec {path}: {e}"));
+        println!("running serve grid '{}': {} cells", spec.name, spec.n_cells());
+        run_serve_grid(&spec)
+    })
 }

@@ -1,0 +1,376 @@
+//! Shared perf-regression gate: report indexing, baseline comparison,
+//! machine-speed probing, and the common binary plumbing.
+//!
+//! Three grid binaries (`grid`, `serve`, `avail`) share one contract:
+//! run a spec (or load an existing report), optionally write the
+//! trajectory, then gate it against a checked-in baseline and exit
+//! nonzero on regression. The axes differ per grid but the comparison
+//! never does, so the whole pipeline lives here once — [`gate_main`]
+//! is the binary skeleton, [`compare_reports`] the gate itself, and
+//! [`probe_once`] the calibration burst every runner interleaves with
+//! its timing reps to produce the machine-relative `*_rel` twins.
+//!
+//! Timings are machine-specific: a baseline only gates runs on hardware
+//! comparable to the machine that produced it (regenerate the baseline
+//! when the fleet changes); the `*_rel` twins absorb *speed* differences
+//! but not microarchitectural ones.
+
+use crate::args::Args;
+use crate::output::write_trajectory;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One burst of the machine-speed probe: wall time of a fixed integer
+/// workload (a serial Lehmer-style multiply chain — pure core speed, no
+/// memory traffic, and no code shared with anything the grids measure,
+/// so a real kernel regression can never hide inside it).
+///
+/// The grid runners interleave probe bursts with their timing reps and
+/// record `min(measured) / min(probe)` as the `*_rel` metric next to
+/// the raw seconds. Because the probes sample the same span of machine
+/// states the measurement mins are drawn from, a shared-vCPU steal
+/// window, turbo drift, or a differently-provisioned CI runner slows
+/// both mins by the same factor and cancels out of the ratio, while a
+/// genuine code regression moves only the numerator. (Min-of-ratios
+/// would be wrong: one stalled probe burst next to a quiet measurement
+/// makes a downward outlier the min then locks onto; both mins
+/// separately are bounded below by the true quiet-machine times.)
+/// [`compare_reports`] gates on the `*_rel` metrics whenever both
+/// reports carry them.
+pub(crate) fn probe_once() -> f64 {
+    let start = Instant::now();
+    let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+    let mut acc = 0u64;
+    for _ in 0..2_000_000 {
+        x = x.wrapping_mul(0xd134_2543_de82_ef95).wrapping_add(0x2545_f491_4f6c_dd1d);
+        acc = acc.wrapping_add(x >> 33);
+    }
+    std::hint::black_box(acc);
+    start.elapsed().as_secs_f64()
+}
+
+/// One indexed metric: the raw value oriented so bigger is better
+/// (`trees_per_sec` as-is, timings negated) plus its machine-relative
+/// twin (`*_rel`, negated — it's a time in probe units) when the report
+/// recorded one.
+#[derive(Debug, Clone, Copy)]
+struct Metric {
+    value: f64,
+    rel: Option<f64>,
+}
+
+/// One report's comparable numbers, keyed deterministically.
+///
+/// Serving keys stay byte-stable across axis additions: the `layout`
+/// and `score_threads` fields only suffix the key when they differ
+/// from their defaults (`flat`, `1`), so a pre-axis baseline keeps
+/// matching the default-configuration cells of a post-axis candidate.
+fn index_report(report: &Value) -> Result<BTreeMap<String, Metric>, String> {
+    let mut out = BTreeMap::new();
+    let cells = report
+        .get("cells")
+        .and_then(Value::as_array)
+        .ok_or("report has no 'cells' array")?;
+    for cell in cells {
+        // Serving cells (gbdt-serve grids) carry a `strategy` axis and
+        // gate on `rows_per_sec`; training cells carry a `system` axis
+        // and gate on `trees_per_sec`. Both share the `wall_rel` twin.
+        let (key, metric_name) = if let Some(strategy) = cell.get("strategy").and_then(Value::as_str)
+        {
+            let mut key = format!(
+                "serve {strategy}/b{}/T{}",
+                cell.get("batch").and_then(Value::as_u64).unwrap_or(0),
+                cell.get("trees").and_then(Value::as_u64).unwrap_or(0),
+            );
+            if let Some(layout) = cell.get("layout").and_then(Value::as_str) {
+                if layout != "flat" {
+                    key.push('/');
+                    key.push_str(layout);
+                }
+            }
+            if let Some(s) = cell.get("score_threads").and_then(Value::as_u64) {
+                if s > 1 {
+                    key.push_str(&format!("/s{s}"));
+                }
+            }
+            (key, "rows_per_sec")
+        } else {
+            (
+                format!(
+                    "cell {}/{}/{}/t{}/{}",
+                    cell.get("system").and_then(Value::as_str).ok_or("cell missing 'system'")?,
+                    cell.get("storage").and_then(Value::as_str).unwrap_or("?"),
+                    cell.get("wire").and_then(Value::as_str).unwrap_or("?"),
+                    cell.get("threads").and_then(Value::as_u64).unwrap_or(0),
+                    cell.get("kernel").and_then(Value::as_str).unwrap_or("?"),
+                ),
+                "trees_per_sec",
+            )
+        };
+        let throughput = cell
+            .get(metric_name)
+            .and_then(Value::as_f64)
+            .ok_or(format!("{key} missing '{metric_name}'"))?;
+        let rel = cell.get("wall_rel").and_then(Value::as_f64).filter(|r| *r > 0.0);
+        out.insert(key, Metric { value: throughput, rel: rel.map(|r| -r) });
+    }
+    if let Some(kernels) = report.get("kernels").and_then(Value::as_object) {
+        for (name, v) in kernels.iter() {
+            // Only the raw timings gate (lower is better); derived ratios
+            // are informational. Negate so "bigger is better" holds for
+            // every indexed metric.
+            if let Some(stem) = name.strip_suffix("_s") {
+                let t = v.as_f64().ok_or(format!("kernel metric '{name}' is not a number"))?;
+                let rel = kernels
+                    .get(&format!("{stem}_rel"))
+                    .and_then(Value::as_f64)
+                    .filter(|r| *r > 0.0);
+                out.insert(format!("kernel {name}"), Metric { value: -t, rel: rel.map(|r| -r) });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The outcome of a baseline-vs-candidate comparison.
+#[derive(Debug)]
+pub struct Comparison {
+    /// Metrics present in both reports.
+    pub compared: usize,
+    /// Human-readable description of every metric that regressed by more
+    /// than the tolerance. Empty means the gate passes.
+    pub regressions: Vec<String>,
+}
+
+/// Compares a candidate trajectory against the checked-in baseline.
+/// A metric regresses when it is worse than `tolerance` fraction below
+/// the baseline (`trees_per_sec` lower / kernel fill time higher). When
+/// both sides of a metric carry its machine-relative `*_rel` twin (time
+/// in units of the adjacent [`probe_once`] burst), the gate compares
+/// those instead of raw seconds, so a slower machine — or a steal window
+/// on a shared vCPU — doesn't read as a code regression; a metric probed
+/// on only one side falls back to raw seconds rather than being skewed.
+/// Errors when the reports share no metric at all — a silent no-op gate
+/// is worse than a loud mismatch.
+pub fn compare_reports(
+    baseline: &Value,
+    candidate: &Value,
+    tolerance: f64,
+) -> Result<Comparison, String> {
+    let base = index_report(baseline)?;
+    let cand = index_report(candidate)?;
+    let mut compared = 0;
+    let mut regressions = Vec::new();
+    for (key, base_m) in &base {
+        let Some(cand_m) = cand.get(key) else { continue };
+        compared += 1;
+        let (base_v, cand_v) = match (base_m.rel, cand_m.rel) {
+            (Some(b), Some(c)) => (b, c),
+            _ => (base_m.value, cand_m.value),
+        };
+        // Values are oriented so bigger is better (timings are negated),
+        // so the allowed slack is always `tolerance` of the magnitude
+        // *below* the baseline regardless of sign.
+        if cand_v < base_v - tolerance * base_v.abs() {
+            let (b, c) = (base_v.abs(), cand_v.abs());
+            let pct = (c / b - 1.0) * 100.0;
+            regressions.push(format!("{key}: {c:.4} vs baseline {b:.4} ({pct:+.1}%)"));
+        }
+    }
+    if compared == 0 {
+        return Err("baseline and candidate share no comparable metric".into());
+    }
+    Ok(Comparison { compared, regressions })
+}
+
+/// Reads and parses a JSON file, panicking with the path on failure
+/// (these are CLI inputs; a stack trace beats a silent default).
+pub fn read_json(path: &str) -> Value {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e:?}"))
+}
+
+/// The shared `main` of every grid binary. `run_spec` is the only
+/// per-grid part: it receives the parsed `--grid` JSON plus its path
+/// (for error messages), prints its own "running …" banner, and returns
+/// the trajectory report. Everything else — flag parsing, the
+/// `--grid`/`--candidate` mutual exclusion, `--out` writing, and the
+/// baseline gate with its exit code — is identical across grids and
+/// lives here.
+pub fn gate_main(run_spec: impl FnOnce(&Value, &str) -> Value) -> ExitCode {
+    let args = Args::parse(&["grid", "out", "baseline", "candidate", "tolerance"], &[]);
+    let tolerance = args.get_or("tolerance", 0.10f64);
+
+    let candidate = match (args.get("grid"), args.get("candidate")) {
+        (Some(_), Some(_)) => panic!("--grid and --candidate are mutually exclusive"),
+        (None, None) => panic!("need --grid <spec.json> or --candidate <report.json>"),
+        (None, Some(path)) => read_json(path),
+        (Some(path), None) => {
+            let report = run_spec(&read_json(path), path);
+            if let Some(out) = args.get("out") {
+                write_trajectory(out, &report).unwrap();
+                println!("wrote {out}");
+            }
+            report
+        }
+    };
+
+    let Some(baseline_path) = args.get("baseline") else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline = read_json(baseline_path);
+    let cmp = compare_reports(&baseline, &candidate, tolerance)
+        .unwrap_or_else(|e| panic!("comparison failed: {e}"));
+    println!(
+        "compared {} metrics against {baseline_path} (tolerance {:.0}%)",
+        cmp.compared,
+        tolerance * 100.0
+    );
+    if cmp.regressions.is_empty() {
+        println!("no regressions");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} regression(s):", cmp.regressions.len());
+        for r in &cmp.regressions {
+            eprintln!("  REGRESSED {r}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    /// A hand-built report so comparison semantics are tested without
+    /// training anything.
+    fn tiny_report(tps: f64, kernel_s: f64) -> Value {
+        json!({
+            "benchmark": "unit",
+            "cells": [{
+                "system": "LightGBM", "storage": "dense", "wire": "dense",
+                "threads": 1, "kernel": "simd",
+                "trees_per_sec": tps, "wall_s": 1.0,
+            }],
+            "kernels": {"dense_simd_u8_s": kernel_s, "simd_vs_scalar_u8": 2.0},
+        })
+    }
+
+    /// [`tiny_report`] plus machine-relative twins: `wall_rel` on the one
+    /// cell and `dense_simd_u8_rel` next to the kernel timing.
+    fn tiny_report_rel(tps: f64, kernel_s: f64, wall_rel: f64, kernel_rel: f64) -> Value {
+        json!({
+            "benchmark": "unit",
+            "cells": [{
+                "system": "LightGBM", "storage": "dense", "wire": "dense",
+                "threads": 1, "kernel": "simd",
+                "trees_per_sec": tps, "wall_s": 1.0, "wall_rel": wall_rel,
+            }],
+            "kernels": {
+                "dense_simd_u8_s": kernel_s,
+                "dense_simd_u8_rel": kernel_rel,
+                "simd_vs_scalar_u8": 2.0,
+            },
+        })
+    }
+
+    #[test]
+    fn compare_fails_on_synthetic_slowdown() {
+        let baseline = tiny_report(10.0, 0.010);
+        // 20% fewer trees/sec AND a 30% slower kernel: both gate.
+        let slower = tiny_report(8.0, 0.013);
+        let cmp = compare_reports(&baseline, &slower, 0.10).unwrap();
+        assert_eq!(cmp.compared, 2);
+        assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
+        assert!(cmp.regressions[0].contains("cell LightGBM/dense/dense/t1/simd"));
+        assert!(cmp.regressions[1].contains("kernel dense_simd_u8_s"));
+    }
+
+    #[test]
+    fn compare_tolerates_small_noise_and_improvements() {
+        let baseline = tiny_report(10.0, 0.010);
+        let ok = compare_reports(&baseline, &tiny_report(9.5, 0.0104), 0.10).unwrap();
+        assert!(ok.regressions.is_empty(), "{:?}", ok.regressions);
+        let faster = compare_reports(&baseline, &tiny_report(14.0, 0.006), 0.10).unwrap();
+        assert!(faster.regressions.is_empty());
+    }
+
+    #[test]
+    fn relative_metrics_cancel_machine_slowdown() {
+        // Candidate ran on a 2× slower machine: every raw timing doubles
+        // (trees/sec halves), but the per-rep probe doubled with them so
+        // the machine-relative twins are unchanged — no regression.
+        let baseline = tiny_report_rel(10.0, 0.010, 20.0, 2.0);
+        let slow_machine = tiny_report_rel(5.0, 0.020, 20.0, 2.0);
+        let cmp = compare_reports(&baseline, &slow_machine, 0.10).unwrap();
+        assert_eq!(cmp.compared, 2);
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn relative_metrics_still_catch_code_regressions() {
+        // Same machine speed, but the code got slower: the relative twins
+        // move with the raw timings (+25% training, +30% kernel) and gate.
+        let baseline = tiny_report_rel(10.0, 0.010, 20.0, 2.0);
+        let regressed = tiny_report_rel(8.0, 0.013, 25.0, 2.6);
+        let cmp = compare_reports(&baseline, &regressed, 0.10).unwrap();
+        assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn relative_metrics_require_both_sides() {
+        // Relative twins on one side only: fall back to raw seconds, so a
+        // 2× slower candidate regresses rather than being silently
+        // "corrected" against nothing.
+        let baseline = tiny_report_rel(10.0, 0.010, 20.0, 2.0);
+        let slower = tiny_report(5.0, 0.020);
+        let cmp = compare_reports(&baseline, &slower, 0.10).unwrap();
+        assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn compare_errors_on_disjoint_reports() {
+        let baseline = tiny_report(10.0, 0.010);
+        let mut other = tiny_report(10.0, 0.010);
+        if let Value::Object(map) = &mut other {
+            map.insert("cells".into(), json!([]));
+            map.insert("kernels".into(), json!({}));
+        }
+        assert!(compare_reports(&baseline, &other, 0.10).is_err());
+    }
+
+    fn serve_cell(extra: Value) -> Value {
+        let mut cell = json!({
+            "strategy": "blocked", "batch": 256, "trees": 512,
+            "rows_per_sec": 1.0e6, "wall_s": 0.1, "wall_rel": 10.0,
+        });
+        if let (Value::Object(map), Value::Object(add)) = (&mut cell, extra) {
+            for (k, v) in add.iter() {
+                map.insert(k.clone(), v.clone());
+            }
+        }
+        json!({"benchmark": "unit", "cells": [cell]})
+    }
+
+    #[test]
+    fn serve_keys_stay_stable_across_axis_additions() {
+        // A pre-PR9 baseline has no layout/score_threads fields; a fresh
+        // candidate at the default axes must index to the same key so old
+        // baselines keep gating new runs.
+        let old = serve_cell(json!({}));
+        let new_defaults = serve_cell(json!({"layout": "flat", "score_threads": 1}));
+        let cmp = compare_reports(&old, &new_defaults, 0.10).unwrap();
+        assert_eq!(cmp.compared, 1);
+        assert!(cmp.regressions.is_empty());
+        // Non-default axes get their own keys — they never collide with
+        // (or silently gate against) the default cell.
+        let quant = serve_cell(json!({"layout": "quant", "score_threads": 4}));
+        assert!(compare_reports(&old, &quant, 0.10).is_err(), "disjoint keys must be loud");
+        let quant_self = compare_reports(&quant, &quant, 0.10).unwrap();
+        assert_eq!(quant_self.compared, 1);
+    }
+}

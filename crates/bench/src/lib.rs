@@ -12,6 +12,9 @@
 //!   DimBoost→QD2/parameter-server, Vero→QD4, …).
 //! * [`output`] — aligned human tables + machine-readable JSONL rows under
 //!   `results/`.
+//! * [`gate`] — the shared perf-regression gate behind the `grid`,
+//!   `serve`, and `avail` binaries: machine-relative `*_rel` metrics,
+//!   baseline comparison, and the common run/compare CLI skeleton.
 //!
 //! Absolute numbers will differ from the paper (their 8×4-core cluster vs
 //! one process; real vs modelled links); the *shape* of each comparison is
@@ -21,6 +24,7 @@ pub mod args;
 pub mod availgrid;
 pub mod datasets;
 pub mod endtoend;
+pub mod gate;
 pub mod grid;
 pub mod output;
 pub mod servegrid;

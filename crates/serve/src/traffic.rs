@@ -13,8 +13,8 @@
 //! any response that does not bit-match its stamped version's expectation
 //! fails the run — the property that proves hot-swaps are never torn.
 
-use crate::exec::Strategy;
-use crate::server::{serve, ModelSlot};
+use crate::exec::{Layout, Strategy};
+use crate::server::{serve, ModelSlot, ServeConfig};
 use crate::stats::{Clock, ServeRun};
 use crate::wire::{PredictRequest, PredictResponse, PublishAck};
 use bytes::Bytes;
@@ -38,6 +38,10 @@ pub struct TrafficConfig {
     pub qps: f64,
     /// Execution strategy the server runs.
     pub strategy: Strategy,
+    /// Compiled node layout the server scores through.
+    pub layout: Layout,
+    /// Scoring threads per request batch (1 = serial, 0 = auto).
+    pub score_threads: usize,
     /// Seed for the synthetic feature rows.
     pub seed: u64,
 }
@@ -50,6 +54,8 @@ impl Default for TrafficConfig {
             batch: 16,
             qps: 0.0,
             strategy: Strategy::Blocked(0),
+            layout: Layout::Flat,
+            score_threads: 1,
             seed: 42,
         }
     }
@@ -96,6 +102,32 @@ fn walk_scores(model: &GbdtModel, rows: &[f32], n_features: usize) -> Vec<f64> {
         model.predict_row_into(&feats, &vals, &mut out[r * c..(r + 1) * c]);
     }
     out
+}
+
+/// Open-loop pacing: sleeps until request `i`'s *scheduled* start and
+/// returns that schedule — `i / qps`, a pure function of the pacing
+/// plan. Crucially, when the client is running late (a backlogged
+/// server pushed previous completions past the schedule) the scheduled
+/// start is returned unchanged rather than "now": latency measured from
+/// it then includes the queueing delay the backlog caused. This is the
+/// coordinated-omission guard, and it is what keeps parallel chunked
+/// scoring honest too — a request's completion is its *last* chunk's
+/// completion (the server replies only after every chunk joins), so
+/// neither pacing nor chunking can shrink the measured interval.
+///
+/// `qps == 0` degrades to closed-loop pacing: each request is scheduled
+/// at the moment it is issued.
+fn pace_to_schedule(i: usize, per_client_qps: f64, clock: Clock) -> f64 {
+    if per_client_qps > 0.0 {
+        let target = i as f64 / per_client_qps;
+        let now = clock.elapsed_s();
+        if now < target {
+            std::thread::sleep(std::time::Duration::from_secs_f64(target - now));
+        }
+        target
+    } else {
+        clock.elapsed_s()
+    }
 }
 
 struct ClientOutcome {
@@ -146,17 +178,7 @@ fn client_loop(
                 }
             }
         }
-        // Open-loop schedule; qps = 0 degrades to closed-loop pacing.
-        let scheduled_s = if per_client_qps > 0.0 {
-            let target = i as f64 / per_client_qps;
-            let now = clock.elapsed_s();
-            if now < target {
-                std::thread::sleep(std::time::Duration::from_secs_f64(target - now));
-            }
-            target
-        } else {
-            clock.elapsed_s()
-        };
+        let scheduled_s = pace_to_schedule(i, per_client_qps, clock);
         let req = PredictRequest {
             req_id: (client as u64) << 32 | i as u64,
             n_features: n_features as u32,
@@ -167,20 +189,28 @@ fn client_loop(
             out.error = Some(format!("request send: {e}"));
             return out;
         }
-        let resp = match comm.recv(0, SERVE_RESPONSE_TAG) {
-            Ok(bytes) => match PredictResponse::decode(&bytes) {
-                Ok(resp) => resp,
-                Err(e) => {
-                    out.error = Some(format!("bad response frame: {e}"));
-                    return out;
+        // Completion is stamped the instant the full response frame
+        // arrives — under parallel scoring the server only replies after
+        // its last row chunk joins, so this is last-chunk completion.
+        // Stamping *before* decode keeps client-side parse cost out of
+        // the served-latency ledger.
+        let (resp, completed_s) = match comm.recv(0, SERVE_RESPONSE_TAG) {
+            Ok(bytes) => {
+                let completed_s = clock.elapsed_s();
+                match PredictResponse::decode(&bytes) {
+                    Ok(resp) => (resp, completed_s),
+                    Err(e) => {
+                        out.error = Some(format!("bad response frame: {e}"));
+                        return out;
+                    }
                 }
-            },
+            }
             Err(_) => {
                 out.dropped += 1;
                 continue;
             }
         };
-        out.latencies_s.push(clock.elapsed_s() - scheduled_s);
+        out.latencies_s.push(completed_s - scheduled_s);
         if resp.req_id != req.req_id {
             out.error = Some(format!("response id {} for request {}", resp.req_id, req.req_id));
             return out;
@@ -243,7 +273,12 @@ pub fn run_traffic(models: &[GbdtModel], cfg: &TrafficConfig) -> Result<ServeRun
         .collect();
 
     let slot = ModelSlot::new(first)?;
-    let executor = cfg.strategy.executor();
+    let executor = ServeConfig {
+        strategy: cfg.strategy,
+        layout: cfg.layout,
+        score_threads: cfg.score_threads,
+    }
+    .executor();
     let mesh = Comm::mesh(
         cfg.n_clients + 1,
         NetworkCostModel { latency_s: 0.0, bandwidth_bytes_per_s: 1e9 },
@@ -314,8 +349,12 @@ pub fn run_traffic(models: &[GbdtModel], cfg: &TrafficConfig) -> Result<ServeRun
     if server_stats.malformed > 0 {
         return Err(format!("server saw {} malformed frames", server_stats.malformed));
     }
+    // The executor label, not `cfg.strategy.label()`: it names the path
+    // actually engaged, including layout and thread suffixes
+    // (`blocked@quant+t4`), so a trajectory can't claim a configuration
+    // it didn't run.
     Ok(ServeRun::from_latencies(
-        cfg.strategy.label(),
+        executor.label(),
         cfg.batch,
         first.trees.len(),
         cfg.n_clients,
@@ -356,6 +395,7 @@ mod tests {
             qps: 0.0,
             strategy: Strategy::PerRow,
             seed: 7,
+            ..TrafficConfig::default()
         };
         let run = run_traffic(&[model_with_leaves(1.0, -1.0, 10)], &cfg).unwrap();
         assert_eq!(run.requests, 80);
@@ -376,6 +416,7 @@ mod tests {
             qps: 0.0,
             strategy: Strategy::Blocked(0),
             seed: 11,
+            ..TrafficConfig::default()
         };
         let models =
             [model_with_leaves(1.0, -1.0, 8), model_with_leaves(9.0, -9.0, 8)];
@@ -395,10 +436,57 @@ mod tests {
             qps: 2000.0,
             strategy: Strategy::PerRow,
             seed: 3,
+            ..TrafficConfig::default()
         };
         let run = run_traffic(&[model_with_leaves(0.5, -0.5, 4)], &cfg).unwrap();
         assert_eq!(run.requests, 30);
         assert!(run.wall_s > 0.0);
+        assert!(run.p999_ms >= run.p99_ms && run.p99_ms >= run.p50_ms);
+    }
+
+    /// Regression (coordinated omission): a client running *late* must
+    /// still get the original schedule back, so latency measured from it
+    /// includes the backlog. If pacing ever "resets" to the current
+    /// clock, a stalled server would erase its own queueing delay from
+    /// the ledger.
+    #[test]
+    fn late_pacing_keeps_the_scheduled_start() {
+        let clock = Clock::new();
+        // Request 2 at 1000 qps is scheduled at 2 ms; by the time the
+        // client gets to it the run is already ≥ 20 ms old (a backlog).
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let scheduled = pace_to_schedule(2, 1000.0, clock);
+        assert_eq!(scheduled, 0.002, "late request must keep its scheduled start");
+        let latency = clock.elapsed_s() - scheduled;
+        assert!(latency >= 0.018, "backlog must surface as latency, got {latency}");
+        // Closed loop (qps = 0): scheduled at issue time, so latency
+        // excludes think time by construction.
+        let scheduled = pace_to_schedule(2, 0.0, clock);
+        assert!(scheduled >= 0.02);
+    }
+
+    /// Paced traffic with parallel chunked scoring: every response still
+    /// bit-matches its stamped version (the snapshot is taken once per
+    /// request) and the latency ledger stays whole — one sample per
+    /// completed request, measured to last-chunk completion.
+    #[test]
+    fn parallel_scoring_keeps_paced_latency_whole() {
+        let cfg = TrafficConfig {
+            n_clients: 2,
+            requests_per_client: 25,
+            batch: 96, // > one 64-row chunk, so the pool actually fans out
+            qps: 1500.0,
+            strategy: Strategy::Blocked(0),
+            layout: Layout::Quant,
+            score_threads: 4,
+            seed: 13,
+        };
+        let models = [model_with_leaves(1.0, -1.0, 6), model_with_leaves(4.0, -4.0, 6)];
+        let run = run_traffic(&models, &cfg).unwrap();
+        assert_eq!(run.requests, 50, "one latency sample per request");
+        assert_eq!(run.dropped, 0);
+        assert_eq!(run.versions_seen, vec![1, 2], "both versions served, none torn");
+        assert_eq!(run.rows, 50 * 96);
         assert!(run.p999_ms >= run.p99_ms && run.p99_ms >= run.p50_ms);
     }
 }

@@ -20,7 +20,7 @@ use gbdt_core::model::GbdtModel;
 use gbdt_core::tree::Tree;
 use gbdt_core::Objective;
 use gbdt_serve::avail::{run_avail, AvailConfig, AvailOutcome};
-use gbdt_serve::exec::Strategy;
+use gbdt_serve::exec::{Layout, Strategy};
 
 fn model(leaf_scale: f64, n_trees: usize, n_features: usize) -> GbdtModel {
     let mut m = GbdtModel::new(Objective::SquaredError, 0.1, n_features);
@@ -97,6 +97,45 @@ fn three_replica_group_survives_crash_and_lossy_plan() {
     );
     // All three replicas did real work across the run.
     assert!(outcome.replicas.iter().all(|r| r.requests > 0), "{:?}", outcome.replicas);
+}
+
+/// The full chaos plan with the PR 9 scoring path engaged: quantized
+/// nodes and a 4-way scoring pool inside every replica, batches wide
+/// enough (3 chunks) that each request genuinely fans out. Crash,
+/// loss, duplication, failover, recovery resync, and mid-run publishes
+/// all land on replicas whose scoring is chunk-parallel — and the
+/// ledger must still verify every response bit-exact for its stamped
+/// `(version, trees_scored)`: no torn chunk, no version-mixed batch.
+#[test]
+fn parallel_quant_replicas_survive_the_chaos_plan() {
+    let plan = serve_tagged(
+        FaultPlan::new(0x0C_8A05_0901)
+            .with_drop(0.04)
+            .with_dup(0.04)
+            .with_delay(0.04, 0.0005)
+            .with_crash(2, 40, 0),
+    );
+    let cfg = AvailConfig {
+        label: "chaos-parallel".into(),
+        n_replicas: 3,
+        n_clients: 3,
+        requests_per_client: 60,
+        batch: 192,
+        qps: 0.0,
+        strategy: Strategy::Blocked(0),
+        layout: Layout::Quant,
+        score_threads: 4,
+        seed: 909,
+        ..AvailConfig::default()
+    };
+    let models = [model(1.0, 12, 5), model(0.75, 12, 5)];
+    let outcome = run_avail(&models, &cfg, Some(plan)).unwrap();
+    assert_acceptance(&outcome);
+    let crashes: u64 = outcome.replicas.iter().map(|r| r.crashes).sum();
+    assert_eq!(crashes, 1, "expected exactly the planned crash: {:?}", outcome.replicas);
+    // The mid-run publish landed and both whole versions were served.
+    assert_eq!(outcome.router.publishes, 1, "{:?}", outcome.router);
+    assert_eq!(outcome.run.versions_seen, vec![1, 2], "{:?}", outcome.run);
 }
 
 #[test]

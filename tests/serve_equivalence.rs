@@ -6,10 +6,13 @@
 //! branchless node array and scores it with two interchangeable execution
 //! strategies. This test pins the contract the serving layer rides on:
 //! per-row traversal, blocked batched traversal, and the model's own
-//! tree walk must agree **bit for bit** on every trained model — the
-//! flattening, the self-looping leaf encoding, and the block schedule
-//! are never allowed to move a ULP (same bar as the storage/kernel
-//! sweeps in `ensemble_pinned.rs`).
+//! tree walk must agree **bit for bit** on every trained model — across
+//! both node layouts (16-byte flat and 8-byte quantized) and at every
+//! scoring-thread budget (`SCORE_THREADS` env, default `1,4`) — the
+//! flattening, the self-looping leaf encoding, the exact-cut quantized
+//! tables, the parallel chunking, and the block schedule are never
+//! allowed to move a ULP (same bar as the storage/kernel sweeps in
+//! `ensemble_pinned.rs`).
 //!
 //! The byte codec rides the same bar: `encode_bytes` round-trips every
 //! trained model exactly, and its output for the pinned dataset/config is
@@ -22,7 +25,8 @@ use gbdt_data::synthetic::SyntheticConfig;
 use gbdt_data::Dataset;
 use gbdt_quadrants::{featpar, qd1, qd2, qd3, qd4, single, yggdrasil, Aggregation};
 use gbdt_serve::compile::compile;
-use gbdt_serve::exec::{nan_dense_rows, Strategy};
+use gbdt_serve::exec::{nan_dense_rows, Layout, Strategy};
+use gbdt_serve::pool;
 use vero::{Vero, VeroConfig};
 
 fn dataset() -> Dataset {
@@ -42,30 +46,54 @@ fn config() -> TrainConfig {
     TrainConfig::builder().n_trees(4).n_layers(4).build().unwrap()
 }
 
-/// Bit-compares both compiled strategies (at several request batch
-/// shapes) against the model's own tree walk over the full dataset.
+/// Scoring-thread budgets to sweep: the `SCORE_THREADS` env var as a
+/// comma-separated list, defaulting to `1,4` so a plain `cargo test`
+/// covers both the serial path and the parallel pool. CI runs the suite
+/// once per value to also get each budget in isolation.
+fn score_thread_budgets() -> Vec<usize> {
+    let spec = std::env::var("SCORE_THREADS").unwrap_or_else(|_| "1,4".to_string());
+    let budgets: Vec<usize> = spec
+        .split(',')
+        .map(|t| t.trim().parse().unwrap_or_else(|e| panic!("bad SCORE_THREADS '{spec}': {e}")))
+        .collect();
+    assert!(!budgets.is_empty(), "SCORE_THREADS must name at least one budget");
+    budgets
+}
+
+/// Bit-compares both compiled strategies — over both node layouts, at
+/// every scoring-thread budget, at several request batch shapes —
+/// against the model's own tree walk over the full dataset.
 fn assert_serving_equivalence(name: &str, model: &GbdtModel, ds: &Dataset) {
     let reference = model.predict_dataset_raw(ds);
     let ens = compile(model, 1).unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+    assert!(
+        ens.quant.is_some(),
+        "{name}: quantized layout must exist for trained models (feature/cut counts \
+         are far below the u16 caps)",
+    );
     let rows = nan_dense_rows(ds, ens.n_features);
     let n_rows = ds.n_instances();
     let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
     for strategy in [Strategy::PerRow, Strategy::Blocked(0), Strategy::Blocked(1)] {
-        let executor = strategy.executor();
-        for batch in [1usize, 7, 64, n_rows] {
-            let mut scores = vec![0.0f64; n_rows * ens.n_outputs];
-            for (row_chunk, out_chunk) in rows
-                .chunks(batch * ens.n_features)
-                .zip(scores.chunks_mut(batch * ens.n_outputs))
-            {
-                executor.predict_into(&ens, row_chunk, out_chunk);
+        for layout in [Layout::Flat, Layout::Quant] {
+            for &threads in &score_thread_budgets() {
+                let executor = pool::parallel(strategy.executor_for(layout), threads);
+                for batch in [1usize, 7, 64, n_rows] {
+                    let mut scores = vec![0.0f64; n_rows * ens.n_outputs];
+                    for (row_chunk, out_chunk) in rows
+                        .chunks(batch * ens.n_features)
+                        .zip(scores.chunks_mut(batch * ens.n_outputs))
+                    {
+                        executor.predict_into(&ens, row_chunk, out_chunk);
+                    }
+                    assert_eq!(
+                        bits(&scores),
+                        bits(&reference),
+                        "{name}: {} at batch {batch} diverged from the tree walk",
+                        executor.label(),
+                    );
+                }
             }
-            assert_eq!(
-                bits(&scores),
-                bits(&reference),
-                "{name}: {} at batch {batch} diverged from the tree walk",
-                executor.label(),
-            );
         }
     }
     // The byte codec is exact on every trained model, not just synthetic
@@ -117,6 +145,84 @@ fn multiclass_models_serve_bit_identically() {
     .generate();
     let cfg = TrainConfig::builder().n_trees(3).n_layers(3).build().unwrap();
     assert_serving_equivalence("single/3-class", &single::train(&ds, &cfg), &ds);
+}
+
+/// Fuzz the quantized layout against flat across randomized ensembles:
+/// thresholds drawn from a small palette (forcing heavy cut-table
+/// interning and shared slots across trees), random default directions,
+/// NaN-bearing rows, ragged batch shapes. Quantization must be invisible
+/// in the output bits at every strategy and thread budget.
+#[test]
+fn quantized_layout_is_bit_invisible_under_fuzz() {
+    use gbdt_core::tree::Tree;
+    use gbdt_core::Objective;
+
+    let mut state = 0x9157_0bad_c0de_u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for case in 0..25 {
+        let n_features = 1 + (next() % 13) as usize;
+        let n_layers = 2 + (next() % 5) as usize;
+        let n_trees = 1 + (next() % 24) as usize;
+        // A tiny threshold palette makes distinct trees hit identical
+        // cuts, exercising the dedup path of the cut-table interner.
+        let palette: Vec<f32> =
+            (0..1 + (next() % 6)).map(|_| (next() % 4000) as f32 / 1000.0 - 2.0).collect();
+        let mut model = GbdtModel::new(Objective::SquaredError, 0.1, n_features);
+        let internal = (1usize << (n_layers - 1)) - 1;
+        let total = (1usize << n_layers) - 1;
+        for _ in 0..n_trees {
+            let mut tree = Tree::new(n_layers, 1);
+            for id in 0..internal {
+                tree.set_internal(
+                    id as u32,
+                    (next() % n_features as u64) as u32,
+                    0,
+                    palette[(next() % palette.len() as u64) as usize],
+                    next() & 1 == 0,
+                );
+            }
+            for id in internal..total {
+                tree.set_leaf(id as u32, vec![(next() % 1000) as f64 / 500.0 - 1.0]);
+            }
+            model.trees.push(tree);
+        }
+        let ens = compile(&model, 1).unwrap();
+        assert!(ens.quant.is_some(), "case {case}: quant layout must build");
+        let n_rows = 96 + (next() % 64) as usize;
+        let rows: Vec<f32> = (0..n_rows * n_features)
+            .map(|_| {
+                if next() % 9 == 0 {
+                    f32::NAN
+                } else {
+                    (next() % 5000) as f32 / 1000.0 - 2.5
+                }
+            })
+            .collect();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for strategy in [Strategy::PerRow, Strategy::Blocked(0)] {
+            for &threads in &score_thread_budgets() {
+                let flat = pool::parallel(strategy.executor_for(Layout::Flat), threads);
+                let quant = pool::parallel(strategy.executor_for(Layout::Quant), threads);
+                let mut expect = vec![0.0f64; n_rows];
+                let mut got = vec![0.0f64; n_rows];
+                flat.predict_into(&ens, &rows, &mut expect);
+                quant.predict_into(&ens, &rows, &mut got);
+                assert_eq!(
+                    bits(&expect),
+                    bits(&got),
+                    "case {case}: {} diverged from {}",
+                    quant.label(),
+                    flat.label(),
+                );
+            }
+        }
+    }
 }
 
 /// FNV-1a over the encoded model bytes — same hash the ensemble pins use.
