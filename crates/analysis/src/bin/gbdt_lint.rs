@@ -1,7 +1,7 @@
 //! `gbdt-lint` — the workspace determinism / deadlock-freedom gate.
 //!
 //! ```text
-//! gbdt-lint [--root PATH] [--json] [--protocol] [FILE...]
+//! gbdt-lint [--root PATH] [--json] [--protocol] [--model-check] [FILE...]
 //! ```
 //!
 //! With no `FILE` arguments, lints every product source in the workspace
@@ -9,7 +9,10 @@
 //! workspace-relative paths, so rule scoping behaves identically. Exits 1
 //! if any diagnostic fires; `--json` emits a machine-readable array for
 //! CI; `--protocol` prints the per-function collective schedule of every
-//! trainer instead of linting.
+//! trainer instead of linting; `--model-check` runs the bounded protocol
+//! model checker (worlds 1–4 simulation, serve frame coverage, wire
+//! parity, lock order) instead of the lint rules and prints the
+//! per-unit schedule report.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,6 +21,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
     let mut protocol = false;
+    let mut model_check = false;
     let mut files: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -29,10 +33,17 @@ fn main() -> ExitCode {
             },
             "--json" => json = true,
             "--protocol" => protocol = true,
+            "--model-check" => model_check = true,
             "--help" | "-h" => {
-                println!("usage: gbdt-lint [--root PATH] [--json] [--protocol] [FILE...]");
-                println!("\nrules:");
+                println!(
+                    "usage: gbdt-lint [--root PATH] [--json] [--protocol] [--model-check] [FILE...]"
+                );
+                println!("\nlint rules:");
                 for (id, summary) in gbdt_analysis::rules::RULES {
+                    println!("  {id:<24} {summary}");
+                }
+                println!("\nmodel-check rules (--model-check):");
+                for (id, summary) in gbdt_analysis::mc::MC_RULES {
                     println!("  {id:<24} {summary}");
                 }
                 return ExitCode::SUCCESS;
@@ -57,6 +68,51 @@ fn main() -> ExitCode {
         };
     }
 
+    // Explicit FILE arguments, read and normalized to workspace-relative
+    // paths (with `//@ path:` / `//@ file:` fixture directives honoured).
+    let mut virtual_set: Vec<(String, String)> = Vec::new();
+    for f in &files {
+        let abs = if PathBuf::from(f).is_absolute() { PathBuf::from(f) } else { cwd.join(f) };
+        let rel = abs
+            .strip_prefix(&root)
+            .map(|p| p.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/"))
+            .unwrap_or_else(|_| f.clone());
+        match std::fs::read_to_string(&abs) {
+            Ok(src) => virtual_set.extend(gbdt_analysis::virtual_files(&rel, &src)),
+            Err(e) => return usage(&format!("cannot read {f}: {e}")),
+        }
+    }
+
+    if model_check {
+        let outcome = if files.is_empty() {
+            match gbdt_analysis::model_check_workspace(&root) {
+                Ok(o) => o,
+                Err(e) => return usage(&format!("failed to read workspace: {e}")),
+            }
+        } else {
+            gbdt_analysis::model_check_files(&virtual_set)
+        };
+        if json {
+            println!("{}", gbdt_analysis::diagnostics_to_json(&outcome.diags));
+        } else {
+            print!("{}", gbdt_analysis::mc::render_report(&outcome));
+            for d in &outcome.diags {
+                println!("{d}\n");
+            }
+        }
+        return if outcome.diags.is_empty() {
+            if !json {
+                eprintln!("gbdt-lint: model check clean");
+            }
+            ExitCode::SUCCESS
+        } else {
+            if !json {
+                eprintln!("gbdt-lint: {} model-check error(s)", outcome.diags.len());
+            }
+            ExitCode::FAILURE
+        };
+    }
+
     let diags = if files.is_empty() {
         match gbdt_analysis::lint_workspace(&root) {
             Ok(d) => d,
@@ -64,22 +120,8 @@ fn main() -> ExitCode {
         }
     } else {
         let mut d = Vec::new();
-        for f in &files {
-            // Normalize to a workspace-relative path for scope selection.
-            let abs = if PathBuf::from(f).is_absolute() { PathBuf::from(f) } else { cwd.join(f) };
-            let rel = abs
-                .strip_prefix(&root)
-                .map(|p| p.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/"))
-                .unwrap_or_else(|_| f.clone());
-            match std::fs::read_to_string(&abs) {
-                Ok(src) => {
-                    // Fixtures carry a `//@ path:` directive naming the
-                    // workspace location they should be scoped as.
-                    let rel = gbdt_analysis::virtual_path(&src).unwrap_or(rel);
-                    d.extend(gbdt_analysis::lint_source(&rel, &src));
-                }
-                Err(e) => return usage(&format!("cannot read {f}: {e}")),
-            }
+        for (rel, src) in &virtual_set {
+            d.extend(gbdt_analysis::lint_source(rel, src));
         }
         d
     };
@@ -105,6 +147,6 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("gbdt-lint: {err}");
-    eprintln!("usage: gbdt-lint [--root PATH] [--json] [--protocol] [FILE...]");
+    eprintln!("usage: gbdt-lint [--root PATH] [--json] [--protocol] [--model-check] [FILE...]");
     ExitCode::from(2)
 }

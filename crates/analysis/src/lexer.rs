@@ -12,7 +12,8 @@
 //! test code exercises failure paths on purpose (`unwrap()` on comm results,
 //! deliberate panics) and is covered by the existing clippy gate instead.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One lexical token. Literal payloads are not kept — no rule needs the
 /// contents of a string, only the fact that it is *not* code.
@@ -55,21 +56,28 @@ impl Token {
 
 /// Lexed file: tokens (with test code already stripped) plus the allow
 /// pragmas collected from comments, keyed by line number.
+#[derive(Clone)]
 pub struct Lexed {
     pub tokens: Vec<Token>,
     /// `line -> rules` from `// lint: allow(rule-a, rule-b) — reason`.
     /// A pragma suppresses diagnostics on its own line and the next line,
     /// so it can trail the offending statement or sit just above it.
     pub pragmas: BTreeMap<u32, Vec<String>>,
+    /// `(pragma line, rule)` pairs that actually suppressed a finding —
+    /// recorded by [`Lexed::allowed`] so the `stale-pragma` rule can flag
+    /// allowlist entries that no longer earn their keep.
+    pub used: RefCell<BTreeSet<(u32, String)>>,
 }
 
 impl Lexed {
     /// Whether `rule` is allowed at `line` by a pragma on that line or the
-    /// line directly above it.
+    /// line directly above it. A hit is recorded against the pragma's own
+    /// line for stale-pragma accounting.
     pub fn allowed(&self, rule: &str, line: u32) -> bool {
         for l in [line, line.saturating_sub(1)] {
             if let Some(rules) = self.pragmas.get(&l) {
                 if rules.iter().any(|r| r == rule) {
+                    self.used.borrow_mut().insert((l, rule.to_string()));
                     return true;
                 }
             }
@@ -83,7 +91,7 @@ pub fn lex(source: &str) -> Lexed {
     let mut lx = Lexer::new(source);
     lx.run();
     let tokens = strip_test_items(lx.tokens);
-    Lexed { tokens, pragmas: lx.pragmas }
+    Lexed { tokens, pragmas: lx.pragmas, used: RefCell::new(BTreeSet::new()) }
 }
 
 struct Lexer<'a> {
@@ -148,7 +156,9 @@ impl<'a> Lexer<'a> {
     }
 
     /// Consumes `// ...` to end of line, harvesting a `lint: allow(...)`
-    /// pragma if present.
+    /// pragma if present. Doc comments (`///`, `//!`) are documentation,
+    /// not directives — prose *describing* the pragma syntax must never
+    /// act as (or be flagged as) a pragma.
     fn line_comment(&mut self) {
         let line = self.line;
         let start = self.pos;
@@ -156,6 +166,9 @@ impl<'a> Lexer<'a> {
             self.bump();
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
+        if text.starts_with("///") || text.starts_with("//!") {
+            return;
+        }
         if let Some(rules) = parse_pragma(text) {
             self.pragmas.entry(line).or_default().extend(rules);
         }

@@ -7,24 +7,38 @@
 //! sample those properties; this crate checks them structurally, at the
 //! source level, on every CI run.
 //!
-//! Three layers:
-//! * [`lexer`] — a minimal Rust tokenizer that is sound about strings, raw
-//!   strings, char literals, nested block comments, and `#[cfg(test)]`
-//!   stripping, and that harvests `// lint: allow(<rule>)` pragmas.
-//! * [`rules`] — the deny-by-default catalog ([`rules::RULES`]).
-//! * [`protocol`] — collective-schedule extraction, the rank-branch
-//!   deadlock rule, and the manual-tag registry check.
+//! Two passes over the same lexed sources:
+//! * **Lint** — [`lexer`] (a minimal Rust tokenizer that is sound about
+//!   strings, raw strings, char literals, nested block comments, and
+//!   `#[cfg(test)]` stripping, and that harvests `// lint: allow(<rule>)`
+//!   pragmas), [`rules`] (the deny-by-default catalog
+//!   [`rules::RULES`]), and [`protocol`] (collective-schedule
+//!   extraction, the rank-branch deadlock rule, the tag registry check).
+//! * **Model check** (`gbdt-lint --model-check`) — [`ir`]/[`extract`]
+//!   lower every protocol-bearing function to a typed op tree, [`mc`]
+//!   exhaustively simulates it for world sizes 1–4 (deadlock, collective
+//!   divergence, orphan sends, serve-plane frame coverage, fault-path
+//!   closure, dead registry tags), and [`schema`]/[`locks`] gate
+//!   encode/decode parity and serve-plane lock ordering.
 //!
-//! The `gbdt-lint` binary (and the `workspace_is_lint_clean` test) walk
-//! every product source file — `crates/*/src/**` and `examples/` — and
-//! fail on any diagnostic. Test code is exempt by construction: the lexer
-//! strips `#[cfg(test)]` items, and the workspace walk skips `tests/`
-//! directories, whose failure-path exercises are covered by the clippy
-//! `unwrap_used` gate instead.
+//! The `gbdt-lint` binary (and the `workspace_is_lint_clean` /
+//! `workspace_is_protocol_clean` tests) walk every product source file —
+//! `crates/*/src/**` and `examples/` — and fail on any diagnostic. Test
+//! code is exempt by construction: the lexer strips `#[cfg(test)]`
+//! items, and the workspace walk skips `tests/` directories, whose
+//! failure-path exercises are covered by the clippy `unwrap_used` gate
+//! instead.
 
+pub mod extract;
+pub mod ir;
 pub mod lexer;
+pub mod locks;
+pub mod mc;
 pub mod protocol;
 pub mod rules;
+pub mod schema;
+
+pub use mc::{model_check_files, model_check_workspace, McOutcome};
 
 use std::fmt;
 use std::fs;
@@ -116,6 +130,32 @@ pub fn virtual_path(source: &str) -> Option<String> {
     source.lines().find_map(|l| {
         l.trim().strip_prefix("//@ path:").map(|p| p.trim().to_string())
     })
+}
+
+/// Splits a fixture into its virtual file set. Multi-file fixtures (the
+/// model-check suite needs a registry *and* its users, or a router *and*
+/// its replica) mark each section with `//@ file: <workspace-relative
+/// path>`; a fixture without such markers is a single file at its
+/// `//@ path:` (or `rel`). Header lines before the first marker are
+/// dropped.
+pub fn virtual_files(rel: &str, source: &str) -> Vec<(String, String)> {
+    let mut sections: Vec<(String, String)> = Vec::new();
+    for line in source.lines() {
+        if let Some(p) = line.trim().strip_prefix("//@ file:") {
+            sections.push((p.trim().to_string(), String::new()));
+        } else if let Some((_, body)) = sections.last_mut() {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    if sections.is_empty() {
+        vec![(
+            virtual_path(source).unwrap_or_else(|| rel.to_string()),
+            source.to_string(),
+        )]
+    } else {
+        sections
+    }
 }
 
 /// Walks the workspace at `root` and lints every product source file.

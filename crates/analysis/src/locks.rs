@@ -1,0 +1,261 @@
+//! Lock-order analysis over the serve plane (`lock-order`,
+//! DESIGN.md item 15).
+//!
+//! The serving path mixes an `RwLock`-guarded model slot with scoring
+//! pool joins; a second lock acquired while the first is held creates an
+//! ordering commitment, and two call paths committing to opposite orders
+//! can deadlock under concurrent traffic even though each path is
+//! correct alone. This pass scans every `crates/serve/src` function for
+//! `.read()` / `.write()` / `.lock()` acquisitions, names each lock by
+//! its receiver chain (`self.current`, `slot.inner`), and
+//! over-approximates every guard as held to the end of its enclosing
+//! block (temporaries and scrutinee guards included — lifetimes only
+//! ever end *earlier* than that, so the graph gains edges, never loses
+//! them). An edge `A -> B` means some function acquires `B` while
+//! holding `A`; any cycle in the resulting graph — including the
+//! 1-cycle of re-entering a lock already held — is a finding.
+
+use crate::lexer::{Lexed, Token};
+use crate::rules::{match_seq, matching_brace};
+use crate::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One acquisition: the named lock, where, and how far the guard's
+/// enclosing block runs.
+struct Acq {
+    node: String,
+    idx: usize,
+    line: u32,
+    scope_end: usize,
+}
+
+/// The receiver chain feeding `.read()` at `dot` (the `.` token),
+/// walked backwards: `self . current . write` → `self.current`.
+fn receiver_chain(tokens: &[Token], dot: usize) -> Option<String> {
+    let mut parts = Vec::new();
+    let mut j = dot;
+    loop {
+        if j == 0 || !tokens[j].is_punct('.') {
+            break;
+        }
+        let Some(name) = tokens.get(j.checked_sub(1)?).and_then(|t| t.ident()) else {
+            break;
+        };
+        parts.push(name.to_string());
+        j -= 2;
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    parts.reverse();
+    Some(parts.join("."))
+}
+
+fn acquisitions(tokens: &[Token], range: (usize, usize)) -> Vec<Acq> {
+    let mut out = Vec::new();
+    // Stack of open-brace indices gives each acquisition its enclosing
+    // block.
+    let mut braces: Vec<usize> = Vec::new();
+    for i in range.0..range.1 {
+        if tokens[i].is_punct('{') {
+            braces.push(i);
+        } else if tokens[i].is_punct('}') {
+            braces.pop();
+        } else if tokens[i].is_punct('.') {
+            let is_acq = tokens
+                .get(i + 1)
+                .and_then(|t| t.ident())
+                .is_some_and(|m| matches!(m, "read" | "write" | "lock"))
+                && match_seq(tokens, i + 2, &["(", ")"]);
+            if !is_acq {
+                continue;
+            }
+            let Some(node) = receiver_chain(tokens, i) else { continue };
+            let scope_end = braces
+                .last()
+                .map(|&open| matching_brace(tokens, open))
+                .unwrap_or(range.1);
+            out.push(Acq { node, idx: i, line: tokens[i + 1].line, scope_end });
+        }
+    }
+    out
+}
+
+/// Functions as `(line, body range)` pairs; nested fns fold into their
+/// parent, which only widens guard scopes.
+fn fn_bodies(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].ident() == Some("fn") {
+            let mut b = i + 1;
+            while b < tokens.len() && !tokens[b].is_punct('{') && !tokens[b].is_punct(';')
+            {
+                b += 1;
+            }
+            if b < tokens.len() && tokens[b].is_punct('{') {
+                let close = matching_brace(tokens, b);
+                out.push((b + 1, close));
+                i = close;
+            } else {
+                i = b;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Checks the serve-plane lock graph across `files`; every edge carries
+/// the site that created it so findings point at real code.
+pub fn check_files(files: &[(String, Lexed)], out: &mut Vec<Diagnostic>) {
+    // edge (A, B) -> first (path, line) acquiring B under A.
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    for (path, lexed) in files {
+        if !path.starts_with("crates/serve/src/") {
+            continue;
+        }
+        for body in fn_bodies(&lexed.tokens) {
+            let acqs = acquisitions(&lexed.tokens, body);
+            for (ai, a) in acqs.iter().enumerate() {
+                for b in &acqs[ai + 1..] {
+                    if b.idx >= a.scope_end {
+                        break;
+                    }
+                    if a.node == b.node {
+                        if !lexed.allowed("lock-order", b.line) {
+                            out.push(Diagnostic {
+                                path: path.clone(),
+                                line: b.line,
+                                col: 1,
+                                rule: "lock-order",
+                                message: format!(
+                                    "`{}` is re-acquired while a guard on it may \
+                                     still be live (first taken on line {}) — \
+                                     self-deadlock under a writer",
+                                    a.node, a.line
+                                ),
+                            });
+                        }
+                    } else {
+                        edges
+                            .entry((a.node.clone(), b.node.clone()))
+                            .or_insert((path.clone(), b.line));
+                    }
+                }
+            }
+        }
+    }
+
+    // Any cycle in the order graph is a latent deadlock. The graph is a
+    // handful of nodes; DFS from every node suffices.
+    let nodes: BTreeSet<&String> = edges.keys().map(|(a, _)| a).collect();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in nodes {
+        let mut stack = vec![(start, vec![start.clone()])];
+        while let Some((at, trail)) = stack.pop() {
+            for ((a, b), (path, line)) in &edges {
+                if a != at {
+                    continue;
+                }
+                if b == start {
+                    let mut cycle = trail.clone();
+                    cycle.sort();
+                    if reported.insert(cycle) {
+                        let lexed = files
+                            .iter()
+                            .find(|(p, _)| p == path)
+                            .map(|(_, l)| l);
+                        if lexed.is_none_or(|l| !l.allowed("lock-order", *line)) {
+                            out.push(Diagnostic {
+                                path: path.clone(),
+                                line: *line,
+                                col: 1,
+                                rule: "lock-order",
+                                message: format!(
+                                    "lock-order cycle: {} -> {b} closes back to \
+                                     `{b}` — two call paths commit to opposite \
+                                     acquisition orders",
+                                    trail.join(" -> ")
+                                ),
+                            });
+                        }
+                    }
+                } else if !trail.contains(b) {
+                    let mut t = trail.clone();
+                    t.push(b.clone());
+                    stack.push((b, t));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check_files(&[("crates/serve/src/pool.rs".to_string(), lex(src))], &mut out);
+        out
+    }
+
+    #[test]
+    fn separate_functions_are_clean() {
+        let src = r#"
+            fn a(&self) { let g = self.slot.read().unwrap(); }
+            fn b(&self) { let g = self.pool.lock().unwrap(); }
+        "#;
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn opposite_orders_cycle() {
+        let src = r#"
+            fn a(&self) {
+                let g = self.slot.read().unwrap();
+                let h = self.pool.lock().unwrap();
+            }
+            fn b(&self) {
+                let h = self.pool.lock().unwrap();
+                let g = self.slot.write().unwrap();
+            }
+        "#;
+        let out = check(src);
+        assert!(
+            out.iter().any(|d| d.rule == "lock-order"
+                && d.message.contains("cycle")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn reentrant_same_lock_is_flagged() {
+        let src = r#"
+            fn a(&self) {
+                let g = self.slot.read().unwrap();
+                let h = self.slot.write().unwrap();
+            }
+        "#;
+        let out = check(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("re-acquired"));
+    }
+
+    #[test]
+    fn inner_block_scope_releases() {
+        let src = r#"
+            fn a(&self) {
+                { let g = self.slot.read().unwrap(); }
+                let h = self.pool.lock().unwrap();
+            }
+            fn b(&self) {
+                { let h = self.pool.lock().unwrap(); }
+                let g = self.slot.write().unwrap();
+            }
+        "#;
+        assert!(check(src).is_empty());
+    }
+}

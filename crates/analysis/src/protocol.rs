@@ -297,7 +297,7 @@ pub fn check_tag_registry(path: &str, lexed: &Lexed, out: &mut Vec<Diagnostic>) 
 }
 
 /// Parses `1234`, `0x7261_7274`, `0b…`, `0o…` with optional `u64` suffix.
-fn parse_u64(raw: &str) -> Option<u64> {
+pub(crate) fn parse_u64(raw: &str) -> Option<u64> {
     let s: String = raw.chars().filter(|c| *c != '_').collect();
     let s = s.strip_suffix("u64").unwrap_or(&s);
     if let Some(hex) = s.strip_prefix("0x") {

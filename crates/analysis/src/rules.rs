@@ -65,6 +65,11 @@ pub const RULES: &[(&str, &str)] = &[
         "the `unsafe` keyword is confined to gbdt-core::kernels::simd, the one \
          audited module; everywhere else memory safety stays compiler-checked",
     ),
+    (
+        "stale-pragma",
+        "a `// lint: allow(...)` pragma that suppresses zero findings (or names \
+         an unknown rule) — allowlists must not outlive the code they excuse",
+    ),
 ];
 
 // ---------------------------------------------------------------------------
@@ -654,6 +659,51 @@ fn check_unsafe_outside_simd(path: &str, lexed: &Lexed, out: &mut Vec<Diagnostic
 }
 
 // ---------------------------------------------------------------------------
+// Rule: stale-pragma
+// ---------------------------------------------------------------------------
+
+/// Flags allow pragmas that suppressed nothing. Must run *after* every
+/// other rule: [`Lexed::allowed`] records each suppression as it
+/// happens, so by the end of a pass any `(pragma line, rule)` pair not
+/// in the used set is dead weight. Model-check rules are exempt — their
+/// pass runs separately over whole-workspace state — as is
+/// `stale-pragma` itself.
+fn check_stale_pragmas(path: &str, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    let used = lexed.used.borrow().clone();
+    for (line, rules) in &lexed.pragmas {
+        for rule in rules {
+            if rule == "stale-pragma" {
+                continue;
+            }
+            let known_lint = RULES.iter().any(|(n, _)| n == rule);
+            let known_mc = crate::mc::MC_RULES.iter().any(|(n, _)| n == rule);
+            if known_mc {
+                continue;
+            }
+            let reason = if !known_lint {
+                format!("pragma allows `{rule}`, which is not a known rule")
+            } else if !used.contains(&(*line, rule.clone())) {
+                format!(
+                    "pragma allows `{rule}` but suppresses no `{rule}` finding \
+                     here — remove it"
+                )
+            } else {
+                continue;
+            };
+            if !lexed.allowed("stale-pragma", *line) {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line: *line,
+                    col: 1,
+                    rule: "stale-pragma",
+                    message: reason,
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Entry point
 // ---------------------------------------------------------------------------
 
@@ -671,6 +721,7 @@ pub fn check_file(path: &str, lexed: &Lexed) -> Vec<Diagnostic> {
     check_unsafe_outside_simd(path, lexed, &mut out);
     protocol::check_rank_branches(path, lexed, &mut out);
     protocol::check_tag_registry(path, lexed, &mut out);
+    check_stale_pragmas(path, lexed, &mut out);
     out.sort_by_key(|d| (d.line, d.col));
     out
 }

@@ -1,0 +1,21 @@
+//@ path: crates/core/src/histogram.rs
+//@ expect: stale-pragma
+//! An allow pragma that suppresses nothing must itself be flagged, so
+//! allowlists cannot outlive the code they once excused.
+
+/// Fully deterministic: iterates a slice, not a hash map — the pragma
+/// below earns nothing.
+pub fn total(values: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    // lint: allow(map-iteration) — stale: the HashMap this excused is long gone
+    for v in values {
+        sum += *v;
+    }
+    sum
+}
+
+/// A rule name that does not exist is equally dead weight.
+pub fn count(values: &[f64]) -> usize {
+    // lint: allow(map-iteratoin) — typo'd rule name never matched anything
+    values.len()
+}

@@ -1,0 +1,16 @@
+//@ path: crates/cluster/src/collectives.rs
+//@ expect: mc-deadlock
+//! The classic reordered ring: every rank receives from its predecessor
+//! *before* sending to its successor. With blocking receives, no rank
+//! ever reaches its send — a cyclic wait at every world size > 0.
+
+impl Comm {
+    pub fn ring_shift(&self, payload: Bytes) -> Result<Bytes, CommError> {
+        let tag = self.alloc_collective_tag();
+        let next = (self.rank() + 1) % self.world();
+        let prev = (self.rank() + self.world() - 1) % self.world();
+        let got = self.recv(prev, tag)?;
+        self.send(next, tag, payload)?;
+        Ok(got)
+    }
+}

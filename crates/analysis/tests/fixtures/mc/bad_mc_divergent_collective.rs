@@ -1,0 +1,12 @@
+//@ path: crates/quadrants/src/qd1.rs
+//@ expect: mc-collective-divergence
+//! A collective inside a rank-conditional branch: rank 0 enters the
+//! all-reduce rendezvous, every other rank runs past it to the end of
+//! the schedule. The rendezvous can never complete.
+
+fn train(ctx: &mut WorkerCtx, buf: &mut [f64]) -> Result<(), CommError> {
+    if ctx.comm.rank() == 0 {
+        ctx.comm.all_reduce_f64(buf)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//@ path: crates/serve/src/pool.rs
+//@ expect: lock-order
+//! Two call paths committing to opposite lock orders: `swap` takes the
+//! model slot then the pool, `join` takes the pool then the slot. Under
+//! concurrent traffic each can hold its first lock while blocking on
+//! the other's — a classic AB/BA deadlock.
+
+impl Pool {
+    fn swap(&self) {
+        let slot = self.slot.write().unwrap();
+        let pool = self.pool.lock().unwrap();
+        drop((slot, pool));
+    }
+
+    fn join(&self) {
+        let pool = self.pool.lock().unwrap();
+        let slot = self.slot.read().unwrap();
+        drop((pool, slot));
+    }
+}

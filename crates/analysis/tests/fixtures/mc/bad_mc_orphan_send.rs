@@ -1,0 +1,18 @@
+//@ path: crates/cluster/src/collectives.rs
+//@ expect: mc-orphan-send
+//! Rank 0 sends twice but rank 1 receives once: the second message sits
+//! in the edge buffer forever. Progress is never blocked, so only the
+//! orphan-send check catches the asymmetry.
+
+impl Comm {
+    pub fn lopsided(&self, payload: Bytes) -> Result<(), CommError> {
+        let tag = self.alloc_collective_tag();
+        if self.rank() == 0 {
+            self.send(1, tag, payload.clone())?;
+            self.send(1, tag, payload)?;
+        } else if self.rank() == 1 {
+            let _ = self.recv(0, tag)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,26 @@
+//@ path: crates/serve/src/wire.rs
+//@ expect: schema-parity
+//! Encode/decode drift: the encoder writes `count` as 4 little-endian
+//! bytes, the decoder consumes 8. Every frame after the second field
+//! decodes garbage.
+
+pub struct DriftFrame {
+    pub req_id: u64,
+    pub count: u32,
+}
+
+impl DriftFrame {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.req_id.to_le_bytes());
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Cursor { bytes, pos: 0 };
+        let req_id = r.u64()?;
+        let count = r.u64()? as u32;
+        Ok(DriftFrame { req_id, count })
+    }
+}

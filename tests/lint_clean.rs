@@ -1,10 +1,12 @@
-//! Tier-1 gate: the workspace is `gbdt-lint` clean.
+//! Tier-1 gate: the workspace is `gbdt-lint` clean and model-checks clean.
 //!
-//! This is the root-package twin of `gbdt-analysis`'s own
-//! `workspace_is_lint_clean` test, so that the plain `cargo test -q`
-//! tier-1 run enforces the source-level determinism and SPMD-protocol
-//! invariants (DESIGN.md item 10) without needing `--workspace`. The
-//! fixture self-tests and injection tests live with the analysis crate.
+//! These are the root-package twins of `gbdt-analysis`'s own
+//! `workspace_is_lint_clean` / `workspace_is_protocol_clean` tests, so
+//! that the plain `cargo test -q` tier-1 run enforces the source-level
+//! determinism invariants (DESIGN.md item 10) and the exhaustively
+//! simulated SPMD + serving protocol invariants (DESIGN.md item 15)
+//! without needing `--workspace`. The fixture self-tests and injection
+//! tests live with the analysis crate.
 
 use std::path::Path;
 
@@ -17,6 +19,19 @@ fn workspace_is_lint_clean() {
         diags.is_empty(),
         "workspace has {} lint error(s) — run `cargo run -p gbdt-analysis --bin gbdt-lint`:\n{}",
         diags.len(),
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn workspace_is_protocol_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let outcome = gbdt_analysis::model_check_workspace(root).expect("workspace walk succeeds");
+    let rendered: Vec<String> = outcome.diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        outcome.diags.is_empty(),
+        "workspace has {} model-check error(s) — run `cargo run -p gbdt-analysis --bin gbdt-lint -- --model-check`:\n{}",
+        outcome.diags.len(),
         rendered.join("\n")
     );
 }
